@@ -1,0 +1,227 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Each sub-benchmark name encodes the paper's sweep parameters, so
+//
+//	go test -bench=Fig3 -benchmem
+//
+// produces the series of the corresponding figure. cmd/colibri-bench runs
+// the same experiments with wall-clock measurement and prints them in the
+// paper's table shapes; EXPERIMENTS.md records paper-vs-measured values.
+package colibri_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"colibri/internal/admission"
+	"colibri/internal/experiments"
+	"colibri/internal/packet"
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+	"colibri/internal/workload"
+)
+
+// BenchmarkFig3SegRAdmission: SegR admission processing time vs. the number
+// of existing SegRs on the same interface pair and the same-source ratio
+// (paper: flat lines well under 1250 µs — constant time).
+func BenchmarkFig3SegRAdmission(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 2000, 10_000} {
+		for _, ratio := range []float64{0, 0.1, 0.5, 0.9} {
+			b.Run(fmt.Sprintf("existing=%d/ratio=%.1f", n, ratio), func(b *testing.B) {
+				_, st := workload.TransitAS(2, 100_000_000)
+				src := topology.MustIA(1, 500)
+				if err := workload.PopulateSegRs(st, n, ratio, src, 1, 2, rng); err != nil {
+					b.Fatal(err)
+				}
+				req := admission.Request{
+					ID:  reservation.ID{SrcAS: src, Num: 1 << 24},
+					Src: src, In: 1, Eg: 2, MaxKbps: 50,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := st.AdmitSegR(req); err != nil {
+						b.Fatal(err)
+					}
+					st.Release(req.ID)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4EERAdmission: EER admission at a transit AS vs. existing EERs
+// over the same SegR and SegRs with the same source (paper: flat, >2000
+// admissions per second per core).
+func BenchmarkFig4EERAdmission(b *testing.B) {
+	for _, s := range []int{1, 5000, 10_000} {
+		for _, n := range []int{10, 1000, 100_000} {
+			b.Run(fmt.Sprintf("eers=%d/s=%d", n, s), func(b *testing.B) {
+				store, segID, err := workload.EERPopulation(s, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id := reservation.ID{SrcAS: topology.MustIA(1, 77), Num: 1 << 24}
+				v := reservation.Version{Ver: 1, BwKbps: 1, ExpT: workload.Epoch + 16}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := store.AdmitEERVersion(&reservation.EER{ID: id}, []reservation.ID{segID}, v, workload.Epoch); err != nil {
+						b.Fatal(err)
+					}
+					if err := store.RemoveEERVersion(id, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Gateway: gateway packet construction vs. path length and
+// installed reservations, single worker, random reservation IDs (paper:
+// 0.4–2.5 Mpps depending on the point; decreasing in both parameters).
+func BenchmarkFig5Gateway(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	for _, hops := range []int{2, 4, 8, 16} {
+		for _, r := range []int{1, 1 << 10, 1 << 15, 1 << 17, 1 << 20} {
+			b.Run(fmt.Sprintf("hops=%d/r=%d", hops, r), func(b *testing.B) {
+				gw, _ := workload.GatewayPopulation(r, hops, rng)
+				ids := workload.RandomResIDs(1<<16, r, rng)
+				w := gw.NewWorker()
+				out := make([]byte, 2048)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := w.Build(ids[i%len(ids)], nil, out, workload.EpochNs+int64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6BorderRouter: stateless border-router validation (the other
+// curve of Fig. 6; paper: 2.15 Mpps per core, 34.4 Mpps on 16 cores). The
+// parallel variant sweeps workers via -cpu, e.g. -cpu=1,2,4.
+func BenchmarkFig6BorderRouter(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	gw, routers := workload.GatewayPopulation(1024, 4, rng)
+	w4 := gw.NewWorker()
+	pkts := make([][]byte, 4096)
+	for i := range pkts {
+		buf := make([]byte, 512)
+		sz, err := w4.Build(uint32(1+i%1024), nil, buf, workload.EpochNs+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkt := buf[:sz]
+		packet.SetCurrHopInPlace(pkt, 3)
+		pkts[i] = pkt
+	}
+	last := routers[3]
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		w := last.NewWorker()
+		i := 0
+		for pb.Next() {
+			if _, err := w.Process(pkts[i%len(pkts)], workload.EpochNs); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkFig6GatewayParallel: gateway throughput with parallel workers
+// (sweep via -cpu), 4-hop paths, 2^15 reservations as in the paper's
+// "realistic parameters" point.
+func BenchmarkFig6GatewayParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	gw, _ := workload.GatewayPopulation(1<<15, 4, rng)
+	ids := workload.RandomResIDs(1<<16, 1<<15, rng)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		w := gw.NewWorker()
+		out := make([]byte, 2048)
+		i := rng.Intn(1 << 16)
+		for pb.Next() {
+			if _, err := w.Build(ids[i%len(ids)], nil, out, workload.EpochNs+int64(i)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkTable2DataPlaneProtection runs the full three-phase simulated
+// measurement of Table 2 (dominated by the discrete-event simulation, not
+// per-op cost; the per-phase Gbps rows are what matters — see
+// TestTable2Protection and cmd/colibri-bench).
+func BenchmarkTable2DataPlaneProtection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunTable2()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAppendixEPayloadSize: gateway construction for growing payload
+// sizes (paper: forwarding rate independent of payload size).
+func BenchmarkAppendixEPayloadSize(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	gw, _ := workload.GatewayPopulation(1<<15, 4, rng)
+	ids := workload.RandomResIDs(1<<16, 1<<15, rng)
+	for _, p := range []int{0, 100, 500, 1000, 1500} {
+		b.Run(fmt.Sprintf("payload=%d", p), func(b *testing.B) {
+			payload := make([]byte, p)
+			w := gw.NewWorker()
+			out := make([]byte, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Build(ids[i%len(ids)], payload, out, workload.EpochNs+int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCServThroughput: the §6.2 headline claims — a single core
+// processes >800 SegReqs/s and >2000 EEReqs/s. The numbers here are the
+// admission-and-store path; the full handler (with DRKey verification)
+// is benchmarked in internal/cserv.
+func BenchmarkCServThroughput(b *testing.B) {
+	b.Run("segr", func(b *testing.B) {
+		_, st := workload.TransitAS(2, 100_000_000)
+		src := topology.MustIA(1, 500)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := admission.Request{
+				ID:  reservation.ID{SrcAS: src, Num: uint32(i + 1)},
+				Src: src, In: 1, Eg: 2, MaxKbps: 1,
+			}
+			if _, err := st.AdmitSegR(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eer", func(b *testing.B) {
+		store, segID, err := workload.EERPopulation(1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := reservation.Version{Ver: 1, BwKbps: 1, ExpT: workload.Epoch + 16}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := reservation.ID{SrcAS: topology.MustIA(1, 77), Num: uint32(i + 1)}
+			if err := store.AdmitEERVersion(&reservation.EER{ID: id}, []reservation.ID{segID}, v, workload.Epoch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

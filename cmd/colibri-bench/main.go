@@ -1,0 +1,85 @@
+// Command colibri-bench regenerates the tables and figures of the paper's
+// evaluation and prints them in the same shape.
+//
+// Usage:
+//
+//	colibri-bench [-quick] [-duration 300ms] [fig3|fig4|fig5|fig6|table2|appendix-e|all]
+//
+// With -quick, reduced parameter grids keep the total runtime under a
+// minute; the default grids match the paper's sweeps (fig5/fig6 with
+// r = 2^20 build million-entry gateways and take several minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"colibri/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameter grids")
+	dur := flag.Duration("duration", 300*time.Millisecond, "measurement time per data-plane point")
+	flag.Parse()
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	ran := false
+	run := func(name string, fn func()) {
+		if what == "all" || what == name {
+			fn()
+			fmt.Println()
+			ran = true
+		}
+	}
+
+	run("fig3", func() {
+		existing, ratios, samples := experiments.Fig3Existing, experiments.Fig3Ratios, 100
+		if *quick {
+			existing, samples = []int{0, 5000, 10000}, 50
+		}
+		fmt.Print(experiments.FormatFig3(experiments.RunFig3(existing, ratios, samples)))
+	})
+	run("fig4", func() {
+		existing, segrs, samples := experiments.Fig4Existing, experiments.Fig4SegRs, 100
+		if *quick {
+			existing, segrs, samples = []int{10, 1000, 100_000}, []int{1, 10_000}, 50
+		}
+		fmt.Print(experiments.FormatFig4(experiments.RunFig4(existing, segrs, samples)))
+	})
+	run("fig5", func() {
+		hops, rs := experiments.Fig5Hops, experiments.Fig5Reservations
+		if *quick {
+			hops, rs = []int{2, 4, 16}, []int{1, 1 << 15, 1 << 17}
+		}
+		fmt.Print(experiments.FormatFig5(experiments.RunFig5(hops, rs, *dur)))
+	})
+	run("fig6", func() {
+		workers, rs := experiments.Fig6Workers, []int{1, 1 << 15, 1 << 20}
+		if *quick {
+			workers, rs = []int{1, 4, 16}, []int{1 << 15}
+		}
+		fmt.Print(experiments.FormatFig6(experiments.RunFig6(workers, rs, *dur)))
+	})
+	run("table2", func() {
+		fmt.Print(experiments.FormatTable2(experiments.RunTable2()))
+	})
+	run("appendix-e", func() {
+		fmt.Print(experiments.FormatAppE(experiments.RunAppendixE(nil, *dur)))
+	})
+	run("doc", func() {
+		fmt.Print(experiments.FormatDoC(experiments.RunDoC()))
+	})
+	run("ablations", func() {
+		fmt.Print(experiments.FormatAblations(experiments.RunAblations(*dur)))
+	})
+	if !ran {
+		fmt.Fprintf(os.Stderr,
+			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|all)\n", what)
+		os.Exit(2)
+	}
+}

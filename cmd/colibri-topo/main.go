@@ -1,0 +1,102 @@
+// Command colibri-topo generates and inspects the topologies the library
+// runs on: it prints the AS-level graph, the discovered path segments, and
+// the end-to-end paths between two ASes.
+//
+// Usage:
+//
+//	colibri-topo [-isds 2] [-cores 2] [-providers 2] [-leaves 3] [-seed 1]
+//	             [-src 1-5 -dst 2-5] [-two-isd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"colibri/internal/segment"
+	"colibri/internal/topology"
+)
+
+func parseIA(s string) (topology.IA, error) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("IA must look like 1-11, got %q", s)
+	}
+	isd, err := strconv.ParseUint(parts[0], 10, 16)
+	if err != nil {
+		return 0, err
+	}
+	as, err := strconv.ParseUint(parts[1], 10, 48)
+	if err != nil {
+		return 0, err
+	}
+	return topology.MustIA(topology.ISD(isd), topology.ASID(as)), nil
+}
+
+func main() {
+	isds := flag.Int("isds", 2, "number of ISDs")
+	cores := flag.Int("cores", 2, "core ASes per ISD")
+	providers := flag.Int("providers", 2, "transit ASes per ISD")
+	leaves := flag.Int("leaves", 3, "leaf ASes per ISD")
+	seed := flag.Int64("seed", 1, "generator seed")
+	twoISD := flag.Bool("two-isd", false, "use the paper's Fig. 1 topology instead of the generator")
+	src := flag.String("src", "", "print end-to-end paths from this IA (e.g. 1-5)")
+	dst := flag.String("dst", "", "…to this IA")
+	flag.Parse()
+
+	var topo *topology.Topology
+	if *twoISD {
+		topo = topology.TwoISD(topology.LinkSpec{})
+	} else {
+		topo = topology.Generate(topology.GenSpec{
+			ISDs: *isds, CoresPerISD: *cores, ProvidersPerISD: *providers,
+			LeavesPerISD: *leaves, ProviderUplinks: 2, LeafUplinks: 2, Seed: *seed,
+		})
+	}
+	if err := topo.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "invalid topology:", err)
+		os.Exit(1)
+	}
+	fmt.Print(topo.String())
+
+	reg := segment.Discover(topo, segment.DiscoverOpts{})
+	fmt.Println("\nsegments:")
+	for _, as := range topo.NonCoreASes() {
+		for _, seg := range reg.UpSegments(as.IA) {
+			fmt.Println(" ", seg)
+		}
+	}
+	coreASes := topo.CoreASes()
+	for _, a := range coreASes {
+		for _, b := range coreASes {
+			for _, seg := range reg.CoreSegments(a.IA, b.IA) {
+				fmt.Println(" ", seg)
+			}
+		}
+	}
+
+	if *src != "" && *dst != "" {
+		s, err := parseIA(*src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		d, err := parseIA(*dst)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		paths, err := reg.Paths(s, d, 10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\npaths %s → %s:\n", s, d)
+		for _, p := range paths {
+			fmt.Printf("  [%d hops, min capacity %d kbps] %s\n",
+				p.Len(), p.MinCapacityKbps(topo), p)
+		}
+	}
+}

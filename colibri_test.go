@@ -1,0 +1,144 @@
+package colibri_test
+
+import (
+	"testing"
+
+	"colibri"
+)
+
+// TestQuickstart exercises the public API exactly as the README does.
+func TestQuickstart(t *testing.T) {
+	topo := colibri.TwoISDTopology()
+	net, err := colibri.NewNetwork(topo, colibri.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AutoSetupSegRs(1 * colibri.Gbps); err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.AddHost(colibri.MustIA(1, 11), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := net.AddHost(colibri.MustIA(2, 11), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := src.RequestEER(dst, 8*colibri.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Send([]byte("over a bandwidth guarantee")); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Received != 1 {
+		t.Fatalf("received %d", dst.Received)
+	}
+}
+
+func TestManualTopologyConstruction(t *testing.T) {
+	topo := colibri.NewTopology()
+	a := colibri.MustIA(1, 1)
+	b := colibri.MustIA(1, 2)
+	topo.AddAS(a, true)
+	topo.AddAS(b, false)
+	if _, err := topo.Connect(a, 1, b, 1, colibri.LinkParent, colibri.LinkSpec{CapacityKbps: 10 * colibri.Gbps}); err != nil {
+		t.Fatal(err)
+	}
+	net, err := colibri.NewNetwork(topo, colibri.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AutoSetupSegRs(100 * colibri.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := net.AddHost(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := net.AddHost(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := h2.RequestEER(h1, 1*colibri.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Send([]byte("up the tree")); err != nil {
+		t.Fatal(err)
+	}
+	if h1.Received != 1 {
+		t.Fatalf("received %d", h1.Received)
+	}
+}
+
+func TestLineTopologyAndClock(t *testing.T) {
+	topo := colibri.LineTopology(4, 1)
+	clock := colibri.NewClock(1_800_000_000)
+	net, err := colibri.NewNetwork(topo, colibri.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Clock.NowSec() != 1_800_000_000 {
+		t.Errorf("clock = %d", net.Clock.NowSec())
+	}
+	if err := net.AutoSetupSegRs(10 * colibri.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.AddHost(colibri.MustIA(1, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddHost(colibri.MustIA(1, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := b.RequestEER(a, 1*colibri.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.PathLen() != 4 {
+		t.Errorf("path length = %d", sess.PathLen())
+	}
+	if err := sess.Send([]byte("down the line")); err != nil {
+		t.Fatal(err)
+	}
+	if a.Received != 1 {
+		t.Errorf("received %d", a.Received)
+	}
+}
+
+func TestGeneratedTopologyPublicAPI(t *testing.T) {
+	topo := colibri.GenerateTopology(colibri.GenSpec{
+		ISDs: 2, CoresPerISD: 2, ProvidersPerISD: 1, LeavesPerISD: 2,
+		Seed: 4,
+	})
+	net, err := colibri.NewNetwork(topo, colibri.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AutoSetupSegRs(100 * colibri.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.AddHost(colibri.MustIA(1, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := net.AddHost(colibri.MustIA(2, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := src.RequestEER(dst, 2*colibri.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		net.Clock.Advance(1e6)
+		if err := sess.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.Received != 3 {
+		t.Fatalf("received %d", dst.Received)
+	}
+}

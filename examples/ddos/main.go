@@ -1,0 +1,96 @@
+// DDoS: the §5 attack catalogue against a live deployment — unauthentic
+// Colibri packets, replayed authentic packets, and a source AS that ignores
+// its monitoring duty — and the defense each one runs into.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"colibri"
+)
+
+func main() {
+	net, err := colibri.NewNetwork(colibri.TwoISDTopology(), colibri.Options{
+		EnableReplaySuppression: true,
+		EnableOFD:               true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.AutoSetupSegRs(1 * colibri.Gbps); err != nil {
+		log.Fatal(err)
+	}
+	victim, err := net.AddHost(colibri.MustIA(1, 11), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := net.AddHost(colibri.MustIA(2, 11), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := victim.RequestEER(target, 800) // 800 kbps
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("✓ victim holds an 800 kbps reservation to the target")
+	grant := sess.Grant()
+	src := colibri.MustIA(1, 11)
+
+	// --- Attack 1: unauthentic Colibri traffic (bogus HVFs) -------------
+	fmt.Println("\n● attack 1: 1000 packets claiming the victim's reservation, forged HVFs")
+	forged := 0
+	for i := 0; i < 1000; i++ {
+		net.Clock.Advance(1e5)
+		buf := grant.Stamp(make([]byte, 100), net.Clock.NowNs(), true)
+		if err := net.InjectPacket(buf, src); err != nil {
+			forged++
+		}
+	}
+	fmt.Printf("  %d/1000 dropped at the first border router (cryptographic check)\n", forged)
+
+	// --- Attack 2: replay of captured authentic packets ------------------
+	fmt.Println("\n● attack 2: an on-path adversary replays one captured packet 1000×")
+	buf := grant.Stamp([]byte("authentic"), net.Clock.NowNs(), false)
+	if err := net.InjectPacket(append([]byte(nil), buf...), src); err != nil {
+		log.Fatal(err)
+	}
+	replays := 0
+	for i := 0; i < 1000; i++ {
+		net.Clock.Advance(1e4)
+		cp := append([]byte(nil), buf...)
+		if err := net.InjectPacket(cp, src); err != nil &&
+			strings.Contains(err.Error(), "duplicate") {
+			replays++
+		}
+	}
+	fmt.Printf("  original delivered once; %d/1000 replays suppressed in-network\n", replays)
+
+	// --- Attack 3: overuse by a negligent source AS ----------------------
+	fmt.Println("\n● attack 3: the source AS stops policing and floods at ~100×")
+	var overuse, blocked int
+	payload := make([]byte, 1000)
+	for i := 0; i < 200_000 && blocked == 0; i++ {
+		net.Clock.Advance(1e5)
+		raw := grant.Stamp(payload, net.Clock.NowNs(), false)
+		err := net.InjectPacket(raw, src)
+		switch {
+		case err == nil:
+		case strings.Contains(err.Error(), "overuse"):
+			overuse++
+		case strings.Contains(err.Error(), "blocklist"):
+			blocked++
+		}
+	}
+	fmt.Printf("  OFD flagged the flow; deterministic monitor confirmed %d overuses;\n", overuse)
+	if blocked > 0 {
+		fmt.Println("  the source AS is now blocklisted — even legitimate packets drop:")
+		if err := sess.Send([]byte("legit")); err != nil {
+			fmt.Printf("    %v\n", err)
+		}
+	} else {
+		log.Fatal("blocklisting never happened")
+	}
+	fmt.Println("\n✓ all three §5 attack classes defeated")
+}

@@ -1,0 +1,99 @@
+// Videostream: the paper's motivating workload — a video stream with a
+// known bitrate reserves exactly that bandwidth and periodically renews the
+// 16-second reservation ahead of expiry, so playback never stalls even
+// while a neighbouring flow floods its own reservation.
+//
+// Demonstrates: rate-matched reservations, seamless renewal (§4.2), and the
+// isolation between reservations (a flooding neighbour loses packets, the
+// stream does not).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colibri"
+)
+
+const (
+	bitrateKbps = 6_000 // a 1080p stream
+	frameBytes  = 25_000
+	fps         = 30
+	seconds     = 60
+)
+
+func main() {
+	net, err := colibri.NewNetwork(colibri.TwoISDTopology(), colibri.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.AutoSetupSegRs(1 * colibri.Gbps); err != nil {
+		log.Fatal(err)
+	}
+	server, err := net.AddHost(colibri.MustIA(1, 11), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	viewer, err := net.AddHost(colibri.MustIA(2, 11), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noisyNeighbor, err := net.AddHost(colibri.MustIA(1, 11), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The stream reserves its known bitrate — "the host can base the
+	// amount of requested bandwidth on the expected traffic, e.g., the
+	// known bitrate of a video stream" (§3.3). Monitoring counts the total
+	// packet size including the Colibri header (§4.8), so the reservation
+	// includes ~2% headroom for header overhead.
+	stream, err := server.RequestEER(viewer, bitrateKbps*102/100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The neighbour reserves a little but floods a lot.
+	noisy, err := noisyNeighbor.RequestEER(viewer, 1_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frame := make([]byte, frameBytes)
+	flood := make([]byte, 1500)
+	var streamSent, streamLost, noisyLost int
+	frameInterval := int64(1e9) / fps
+
+	for sec := 0; sec < seconds; sec++ {
+		// Renew 4 s before expiry: a new version is created while the old
+		// one stays valid — no interruption (§4.2).
+		if sec > 0 && sec%12 == 0 {
+			if err := stream.Renew(bitrateKbps); err != nil {
+				log.Fatalf("renewal at t=%ds: %v", sec, err)
+			}
+		}
+		for f := 0; f < fps; f++ {
+			net.Clock.Advance(frameInterval)
+			streamSent++
+			if err := stream.Send(frame); err != nil {
+				streamLost++
+			}
+			// The neighbour floods 10 packets per frame tick (~36 Mbps on
+			// a 1 Mbps reservation): its own gateway polices it.
+			for k := 0; k < 10; k++ {
+				if err := noisy.Send(flood); err != nil {
+					noisyLost++
+				}
+			}
+		}
+		net.Tick()
+	}
+
+	fmt.Printf("stream:   %d frames sent, %d lost (%.2f%%)\n",
+		streamSent, streamLost, 100*float64(streamLost)/float64(streamSent))
+	fmt.Printf("neighbor: %d flood packets dropped by its own gateway\n", noisyLost)
+	fmt.Printf("viewer:   received %d packets in total\n", viewer.Received)
+	if streamLost > 0 {
+		log.Fatal("the guaranteed stream lost packets!")
+	}
+	fmt.Println("✓ 60 s of video at guaranteed bitrate, zero loss, across 4 renewals")
+}

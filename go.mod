@@ -1,0 +1,3 @@
+module colibri
+
+go 1.22

@@ -1,0 +1,121 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+)
+
+// NaiveState is the reference implementation of the same bounded-tube-
+// fairness admission without memoization: every admission recomputes the
+// ingress, tube, and per-source aggregates by iterating all existing
+// reservations — O(n) per request. It exists to (a) cross-check State's
+// memoized aggregates and (b) quantify, in the ablation benchmarks, the
+// design choice that makes Fig. 3's constant-time admission possible
+// ("this result required the careful application of memoization", §6.2).
+type NaiveState struct {
+	mu      sync.Mutex
+	capIn   map[topology.IfID]float64
+	capEg   map[topology.IfID]float64
+	entries map[reservation.ID]entry
+	allocEg map[topology.IfID]uint64
+}
+
+// NewNaiveState mirrors NewState.
+func NewNaiveState(as *topology.AS, split TrafficSplit) *NaiveState {
+	st := &NaiveState{
+		capIn:   make(map[topology.IfID]float64),
+		capEg:   make(map[topology.IfID]float64),
+		entries: make(map[reservation.ID]entry),
+		allocEg: make(map[topology.IfID]uint64),
+	}
+	for id, intf := range as.Interfaces {
+		c := float64(split.EERShare(intf.CapacityKbps()))
+		st.capIn[id] = c
+		st.capEg[id] = c
+	}
+	st.capIn[0] = math.Inf(1)
+	st.capEg[0] = math.Inf(1)
+	return st
+}
+
+// AdmitSegR recomputes all aggregates from scratch, then applies the same
+// formulas as State.admitLocked.
+func (st *NaiveState) AdmitSegR(req Request) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if req.MaxKbps == 0 {
+		return 0, ErrZeroDemand
+	}
+	if _, ok := st.entries[req.ID]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrDuplicate, req.ID)
+	}
+	capIn, ok := st.capIn[req.In]
+	if !ok {
+		return 0, fmt.Errorf("%w: ingress %d", ErrUnknownIf, req.In)
+	}
+	capEg, ok := st.capEg[req.Eg]
+	if !ok {
+		return 0, fmt.Errorf("%w: egress %d", ErrUnknownIf, req.Eg)
+	}
+	d := float64(req.MaxKbps)
+
+	// The O(n) pass the memoized implementation avoids.
+	var demIn, demTube, demSrc, adjEg float64
+	for _, e := range st.entries {
+		if e.req.In == req.In {
+			demIn += float64(e.req.MaxKbps)
+		}
+		if e.req.In == req.In && e.req.Eg == req.Eg {
+			demTube += float64(e.req.MaxKbps)
+		}
+		if e.req.Src == req.Src && e.req.Eg == req.Eg {
+			demSrc += float64(e.req.MaxKbps)
+		}
+		if e.req.Eg == req.Eg {
+			adjEg += e.adj
+		}
+	}
+
+	fIn := scale(capIn, demIn+d)
+	fTube := scale(capEg, fIn*(demTube+d))
+	fSrc := scale(capEg, demSrc+d)
+	adj := d * fIn * fTube * fSrc
+
+	share := capEg * adj / (adjEg + adj)
+	free := capEg - float64(st.allocEg[req.Eg])
+	if free < 0 {
+		free = 0
+	}
+	g := uint64(math.Min(d, math.Min(share, free)))
+	if g < req.MinKbps {
+		return 0, fmt.Errorf("%w: computed %d kbps < minimum %d kbps", ErrBelowMinimum, g, req.MinKbps)
+	}
+	st.allocEg[req.Eg] += g
+	st.entries[req.ID] = entry{req: req, adj: adj, grant: g}
+	return g, nil
+}
+
+// Release removes a reservation.
+func (st *NaiveState) Release(id reservation.ID) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[id]
+	if !ok {
+		return
+	}
+	if st.allocEg[e.req.Eg] >= e.grant {
+		st.allocEg[e.req.Eg] -= e.grant
+	}
+	delete(st.entries, id)
+}
+
+// Len returns the number of admitted reservations.
+func (st *NaiveState) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}

@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRSVPReserveAndForward(t *testing.T) {
+	r := NewRSVPRouter(10_000)
+	f := FlowID{Src: 1, Dst: 2, Port: 80}
+	if err := r.Forward(f, 100, 0); !errors.Is(err, ErrNoState) {
+		t.Errorf("forward without state: %v", err)
+	}
+	if err := r.Reserve(f, 8_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Forward(f, 1000, 1e6); err != nil {
+		t.Errorf("conforming packet: %v", err)
+	}
+	// A second flow beyond capacity is refused.
+	if err := r.Reserve(FlowID{Src: 3, Dst: 4}, 5_000, 0); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("over-capacity reserve: %v", err)
+	}
+	// Re-reserving the same flow adjusts, not adds.
+	if err := r.Reserve(f, 2_000, 0); err != nil {
+		t.Errorf("re-reserve: %v", err)
+	}
+	if err := r.Reserve(FlowID{Src: 3, Dst: 4}, 5_000, 0); err != nil {
+		t.Errorf("after downsize: %v", err)
+	}
+}
+
+func TestRSVPPolicesRate(t *testing.T) {
+	r := NewRSVPRouter(100_000)
+	f := FlowID{Src: 1, Dst: 2}
+	if err := r.Reserve(f, 8_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	var passed int
+	for i := 1; i <= 2000; i++ {
+		if err := r.Forward(f, 1000, int64(i)*5e5); err == nil { // 2× rate
+			passed++
+		}
+	}
+	if passed < 900 || passed > 1200 {
+		t.Errorf("passed %d of 2000 at 2× rate", passed)
+	}
+}
+
+func TestRSVPSoftStateExpiry(t *testing.T) {
+	r := NewRSVPRouter(100_000)
+	f := FlowID{Src: 1, Dst: 2}
+	if err := r.Reserve(f, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Un-refreshed state stops forwarding after the timeout…
+	if err := r.Forward(f, 100, 91e9); !errors.Is(err, ErrNoState) {
+		t.Errorf("expired soft state forwarded: %v", err)
+	}
+	// …and is reclaimed.
+	if n := r.ExpireSoftState(91e9); n != 1 {
+		t.Errorf("expired %d flows", n)
+	}
+	if r.Flows() != 0 {
+		t.Errorf("flows = %d", r.Flows())
+	}
+	// Refresh keeps state alive.
+	if err := r.Reserve(f, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Refresh(f, 89e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Forward(f, 100, 170e9); err != nil {
+		t.Errorf("refreshed flow dropped: %v", err)
+	}
+	if err := r.Refresh(FlowID{Src: 9, Dst: 9}, 0); !errors.Is(err, ErrNoState) {
+		t.Errorf("refresh of unknown flow: %v", err)
+	}
+}
+
+func TestRSVPStateGrowsPerFlow(t *testing.T) {
+	// The scalability contrast: an IntServ transit router's state grows
+	// linearly with flows; a Colibri transit AS keeps only SegRs.
+	r := NewRSVPRouter(1 << 40)
+	for i := 0; i < 10_000; i++ {
+		if err := r.Reserve(FlowID{Src: uint64(i), Dst: 1}, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Flows() != 10_000 {
+		t.Errorf("flows = %d", r.Flows())
+	}
+}
+
+func TestRefreshLoad(t *testing.T) {
+	// 1 M flows × 5 hops / 30 s = 166 666 msgs/s network-wide.
+	got := RefreshLoad(1_000_000, 5, 30)
+	if got < 166_000 || got > 167_000 {
+		t.Errorf("RefreshLoad = %f", got)
+	}
+}
+
+func TestDiffServNoProtection(t *testing.T) {
+	// Victim marks 4 Mbps premium; attacker floods 400 Mbps premium into a
+	// 40 Mbps link. DiffServ gives the victim only its proportional share
+	// (~1%), where Colibri guarantees the full reservation (Table 2).
+	victim, attacker := DiffServShare(4_000, 400_000, 40_000)
+	if victim+attacker > 41_000 {
+		t.Errorf("delivered more than the link: %d + %d", victim, attacker)
+	}
+	if victim > 2_000 {
+		t.Errorf("victim got %d kbps — DiffServ should NOT protect it", victim)
+	}
+	if attacker < 30_000 {
+		t.Errorf("attacker got %d kbps", attacker)
+	}
+}
+
+func TestDiffServUncontended(t *testing.T) {
+	victim, _ := DiffServShare(4_000, 0, 40_000)
+	if victim < 3_800 {
+		t.Errorf("uncontended victim got %d kbps", victim)
+	}
+}
+
+func BenchmarkRSVPForward(b *testing.B) {
+	r := NewRSVPRouter(1 << 40)
+	for i := 0; i < 1<<15; i++ {
+		if err := r.Reserve(FlowID{Src: uint64(i), Dst: 1}, 1<<20, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := FlowID{Src: uint64(i % (1 << 15)), Dst: 1}
+		if err := r.Forward(f, 100, int64(i)*1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package baseline
+
+import (
+	"colibri/internal/netsim"
+	"colibri/internal/qos"
+)
+
+// DiffServShare simulates the DiffServ failure mode: victim and attacker
+// both mark their packets with the premium class (nothing stops the
+// attacker — there is no admission control and no authentication), so the
+// victim's delivered rate collapses to its proportional share of the link.
+//
+// It returns the victim's and attacker's delivered rates in kbps over one
+// simulated second on a link of linkKbps.
+func DiffServShare(victimKbps, attackerKbps, linkKbps uint64) (victimOut, attackerOut uint64) {
+	sim := netsim.NewSim()
+	sink := netsim.NewCounter()
+	port := netsim.NewPort(sim, "out", linkKbps, 0, qos.StrictPriority, sink, 0)
+	node := netsim.NodeFunc(func(p *netsim.Packet, _ int) { port.Send(p) })
+
+	const pktBytes = 1500
+	const durNs = int64(1e9)
+	mk := func(rate uint64, label string) {
+		if rate == 0 {
+			return
+		}
+		(&netsim.Source{
+			Sim: sim, Dst: node, RateKbps: rate, PktBytes: pktBytes, StopNs: durNs,
+			Make: func() *netsim.Packet {
+				// Both flows claim the premium class: DiffServ cannot tell
+				// them apart.
+				return &netsim.Packet{WireSize: pktBytes, Class: qos.ClassEER, Meta: label}
+			},
+		}).Start(0)
+	}
+	mk(victimKbps, "victim")
+	mk(attackerKbps, "attacker")
+	sim.Run(durNs)
+	// Delivered kbps over the 1 s run: bytes × 8 bits ÷ 1000.
+	toKbps := func(bytes uint64) uint64 { return bytes * 8 / 1000 }
+	return toKbps(sink.ByLabel["victim"]), toKbps(sink.ByLabel["attacker"])
+}

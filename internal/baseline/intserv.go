@@ -1,0 +1,155 @@
+// Package baseline implements the two archetypal resource-reservation
+// architectures the paper positions Colibri against (§1, §8):
+//
+//   - IntServ/RSVP: strict per-flow end-to-end reservations with per-flow
+//     state and policing at *every* on-path router, maintained by periodic
+//     soft-state refresh messages. Strong guarantees, but state and
+//     signaling grow with the number of flows at every router — the
+//     control- and data-plane scalability failure Colibri's SegR/EER
+//     hierarchy and stateless routers avoid.
+//
+//   - DiffServ: stateless per-hop traffic classes with no admission control
+//     and no signaling. Scales perfectly, but provides no guarantee: any
+//     sender can claim the priority class, so an adversary in the same
+//     class squeezes the victim to its proportional share.
+//
+// The tests and benchmarks in this package quantify both failure modes;
+// EXPERIMENTS.md records the comparison against Colibri's guarantees.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"colibri/internal/monitor"
+)
+
+// FlowID identifies an IntServ flow (the classic 5-tuple, condensed).
+type FlowID struct {
+	Src, Dst uint64
+	Port     uint16
+}
+
+// flowState is the per-flow router state RSVP installs: reservation
+// parameters plus the policing bucket. Roughly 100 bytes per flow per
+// router in this compact representation; real RSVP state blocks are larger.
+type flowState struct {
+	rateKbps    uint64
+	bucket      *monitor.TokenBucket
+	lastRefresh int64
+}
+
+// RSVPRouter is one on-path router of the IntServ baseline. Unlike a
+// Colibri border router it must keep and consult per-flow state for every
+// packet, and expire flows whose soft state is not refreshed.
+type RSVPRouter struct {
+	mu    sync.RWMutex
+	flows map[FlowID]*flowState
+	// CapacityKbps bounds admitted bandwidth (simple parameter-based
+	// admission as in RSVP/IntServ).
+	CapacityKbps uint64
+	allocated    uint64
+	// RefreshTimeoutNs expires un-refreshed soft state (RSVP default 90 s).
+	RefreshTimeoutNs int64
+}
+
+// Baseline errors.
+var (
+	ErrNoCapacity = errors.New("baseline: insufficient capacity")
+	ErrNoState    = errors.New("baseline: no reservation state for flow")
+)
+
+// NewRSVPRouter builds a router with the given capacity.
+func NewRSVPRouter(capacityKbps uint64) *RSVPRouter {
+	return &RSVPRouter{
+		flows:            make(map[FlowID]*flowState),
+		CapacityKbps:     capacityKbps,
+		RefreshTimeoutNs: 90 * 1e9,
+	}
+}
+
+// Reserve installs per-flow state (the RESV message of RSVP).
+func (r *RSVPRouter) Reserve(f FlowID, rateKbps uint64, nowNs int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.flows[f]; ok {
+		r.allocated -= old.rateKbps
+	}
+	if r.allocated+rateKbps > r.CapacityKbps {
+		return fmt.Errorf("%w: %d + %d > %d kbps", ErrNoCapacity, r.allocated, rateKbps, r.CapacityKbps)
+	}
+	r.allocated += rateKbps
+	r.flows[f] = &flowState{
+		rateKbps:    rateKbps,
+		bucket:      monitor.NewTokenBucket(rateKbps, monitor.BurstBytesFor(rateKbps), nowNs),
+		lastRefresh: nowNs,
+	}
+	return nil
+}
+
+// Refresh renews one flow's soft state; RSVP requires this per flow, per
+// router, per refresh period — the signaling load that dooms its
+// control-plane scalability.
+func (r *RSVPRouter) Refresh(f FlowID, nowNs int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.flows[f]
+	if !ok {
+		return ErrNoState
+	}
+	st.lastRefresh = nowNs
+	return nil
+}
+
+// Forward polices one packet against the flow's reservation: a per-flow
+// state lookup on the fast path, which Colibri routers avoid entirely.
+func (r *RSVPRouter) Forward(f FlowID, sizeBytes uint32, nowNs int64) error {
+	r.mu.RLock()
+	st, ok := r.flows[f]
+	r.mu.RUnlock()
+	if !ok {
+		return ErrNoState
+	}
+	if nowNs-st.lastRefresh > r.RefreshTimeoutNs {
+		return fmt.Errorf("%w: soft state expired", ErrNoState)
+	}
+	r.mu.Lock() // the bucket mutates; RSVP routers serialize per-flow state
+	okRate := st.bucket.Allow(nowNs, sizeBytes)
+	r.mu.Unlock()
+	if !okRate {
+		return errors.New("baseline: flow exceeds reservation")
+	}
+	return nil
+}
+
+// Flows returns the number of per-flow state entries.
+func (r *RSVPRouter) Flows() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.flows)
+}
+
+// ExpireSoftState drops flows that missed their refresh window and returns
+// how many were removed.
+func (r *RSVPRouter) ExpireSoftState(nowNs int64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for f, st := range r.flows {
+		if nowNs-st.lastRefresh > r.RefreshTimeoutNs {
+			r.allocated -= st.rateKbps
+			delete(r.flows, f)
+			n++
+		}
+	}
+	return n
+}
+
+// RefreshLoad computes RSVP's control-message rate for a path: flows ×
+// pathLen / refreshPeriod messages per second — compare with Colibri, where
+// transit state is per-SegR (thousands of times fewer) and EER renewals
+// touch only the reservation's ASes once per lifetime.
+func RefreshLoad(flows, pathLen int, refreshSeconds float64) float64 {
+	return float64(flows*pathLen) / refreshSeconds
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGrantStampAndInject(t *testing.T) {
+	net, hs, hd := twoISDNet(t, Options{})
+	sess, err := hs.RequestEER(hd, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ExpiresAt() <= net.Clock.NowSec() {
+		t.Error("ExpiresAt in the past")
+	}
+	g := sess.Grant()
+	if g.Res.ResID == 0 || len(g.Path) != 5 || len(g.HopAuths) != 5 {
+		t.Fatalf("grant view: %+v", g)
+	}
+	// A correctly stamped packet is delivered.
+	ok := g.Stamp([]byte("valid"), net.Clock.NowNs(), false)
+	if err := net.InjectPacket(ok, ia(1, 11)); err != nil {
+		t.Fatalf("valid stamp: %v", err)
+	}
+	if hd.Received != 1 {
+		t.Fatalf("received %d", hd.Received)
+	}
+	// A forged one is not.
+	net.Clock.Advance(1e6)
+	bad := g.Stamp([]byte("forged"), net.Clock.NowNs(), true)
+	err = net.InjectPacket(bad, ia(1, 11))
+	if err == nil || !strings.Contains(err.Error(), "hop validation") {
+		t.Errorf("forged stamp: %v", err)
+	}
+	if hd.Received != 1 {
+		t.Errorf("forged packet delivered (received %d)", hd.Received)
+	}
+}

@@ -1,0 +1,58 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// AEAD helpers for the control plane: hop authenticators are returned to the
+// source AS "over a channel secured through authenticated encryption with
+// associated data" (Eq. 5). AES-GCM under a DRKey-derived key, with the
+// nonce prepended to the ciphertext.
+
+const gcmNonceSize = 12
+
+// ErrAEADOpen is returned when decryption or authentication fails.
+var ErrAEADOpen = errors.New("cryptoutil: AEAD open failed")
+
+func newGCM(key Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Seal encrypts plaintext under key with associated data ad, returning
+// nonce ‖ ciphertext.
+func Seal(key Key, plaintext, ad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, gcmNonceSize, gcmNonceSize+len(plaintext)+aead.Overhead())
+	if _, err := io.ReadFull(rand.Reader, out); err != nil {
+		return nil, err
+	}
+	return aead.Seal(out, out[:gcmNonceSize], plaintext, ad), nil
+}
+
+// Open decrypts a Seal output.
+func Open(key Key, sealed, ad []byte) ([]byte, error) {
+	if len(sealed) < gcmNonceSize {
+		return nil, fmt.Errorf("%w: too short", ErrAEADOpen)
+	}
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, sealed[:gcmNonceSize], sealed[gcmNonceSize:], ad)
+	if err != nil {
+		return nil, ErrAEADOpen
+	}
+	return pt, nil
+}

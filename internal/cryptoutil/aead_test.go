@@ -1,0 +1,81 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := Key{1, 2, 3}
+	pt := []byte("hop authenticator payload")
+	ad := []byte("res-id|hop-3")
+	sealed, err := Seal(key, pt, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(key, sealed, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Errorf("roundtrip: %q", got)
+	}
+}
+
+func TestSealRandomizesNonce(t *testing.T) {
+	key := Key{9}
+	a, _ := Seal(key, []byte("x"), nil)
+	b, _ := Seal(key, []byte("x"), nil)
+	if bytes.Equal(a, b) {
+		t.Error("two seals of the same plaintext are identical — nonce reuse")
+	}
+	// Both still open.
+	for _, sealed := range [][]byte{a, b} {
+		if _, err := Open(key, sealed, nil); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key := Key{7}
+	ad := []byte("ad")
+	sealed, _ := Seal(key, []byte("secret"), ad)
+
+	for i := range sealed {
+		cp := append([]byte(nil), sealed...)
+		cp[i] ^= 0x80
+		if _, err := Open(key, cp, ad); !errors.Is(err, ErrAEADOpen) {
+			t.Fatalf("bit flip at %d accepted (err=%v)", i, err)
+		}
+	}
+	// Wrong associated data.
+	if _, err := Open(key, sealed, []byte("other")); !errors.Is(err, ErrAEADOpen) {
+		t.Errorf("wrong AD accepted: %v", err)
+	}
+	// Wrong key.
+	if _, err := Open(Key{8}, sealed, ad); !errors.Is(err, ErrAEADOpen) {
+		t.Errorf("wrong key accepted: %v", err)
+	}
+	// Too short.
+	if _, err := Open(key, sealed[:8], ad); !errors.Is(err, ErrAEADOpen) {
+		t.Errorf("short input accepted: %v", err)
+	}
+}
+
+func TestSealOpenQuick(t *testing.T) {
+	key := Key{0xAB}
+	f := func(pt, ad []byte) bool {
+		sealed, err := Seal(key, pt, ad)
+		if err != nil {
+			return false
+		}
+		got, err := Open(key, sealed, ad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

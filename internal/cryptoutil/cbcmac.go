@@ -1,0 +1,81 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+)
+
+// CBCMAC is a fixed-input-length AES-CBC-MAC for the data-plane hot path.
+//
+// Plain CBC-MAC is only secure for fixed-length (or length-prefixed)
+// messages; Colibri's hop authenticators (Eq. 4) and hop validation fields
+// (Eq. 6) are computed over fixed-layout header fields, so the cheap
+// construction is safe here, exactly as in the paper's DPDK implementation.
+// The input is zero-padded to a whole number of AES blocks; callers must
+// ensure a fixed layout (they do: the inputs are packed structs).
+//
+// A CBCMAC is not safe for concurrent use.
+type CBCMAC struct {
+	block cipher.Block
+	// x is the CBC chaining scratch block; keeping it in the (already
+	// heap-allocated) struct prevents it from escaping per call through the
+	// cipher.Block interface.
+	x [aes.BlockSize]byte
+}
+
+// NewCBCMAC builds a CBC-MAC for the key, caching the AES key schedule.
+func NewCBCMAC(key Key) (*CBCMAC, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return &CBCMAC{block: block}, nil
+}
+
+// MustCBCMAC is NewCBCMAC for setup code.
+func MustCBCMAC(key Key) *CBCMAC {
+	m, err := NewCBCMAC(key)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SumInto computes the CBC-MAC of msg (zero-padded to a block boundary) into
+// mac. It performs no heap allocation.
+func (m *CBCMAC) SumInto(mac *[MACSize]byte, msg []byte) {
+	m.x = [aes.BlockSize]byte{}
+	for len(msg) >= aes.BlockSize {
+		for i := 0; i < aes.BlockSize; i++ {
+			m.x[i] ^= msg[i]
+		}
+		m.block.Encrypt(m.x[:], m.x[:])
+		msg = msg[aes.BlockSize:]
+	}
+	if len(msg) > 0 {
+		for i, b := range msg {
+			m.x[i] ^= b
+		}
+		m.block.Encrypt(m.x[:], m.x[:])
+	}
+	*mac = m.x
+}
+
+// MACOneBlock computes the CBC-MAC of exactly one 16-byte block with the
+// given expanded cipher into mac. This is the innermost data-plane operation
+// (Eq. 6: V = MAC_σ(Ts ‖ PktSize)), kept separate so the router can call it
+// with zero bounds checks.
+func MACOneBlock(block cipher.Block, mac *[MACSize]byte, in *[aes.BlockSize]byte) {
+	block.Encrypt(mac[:], in[:])
+}
+
+// NewBlock expands an AES-128 key schedule. The data plane derives a fresh
+// hop authenticator σ per packet and must then expand it to MAC the
+// timestamp block; this helper makes that step explicit and testable.
+func NewBlock(key Key) cipher.Block {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err) // unreachable: key length is fixed
+	}
+	return block
+}

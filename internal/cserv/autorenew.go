@@ -1,0 +1,59 @@
+package cserv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"colibri/internal/reservation"
+)
+
+// Forecast decides the bandwidth range for a SegR's next period, given its
+// current grant — the hook for the traffic prediction of §3.2 ("since link
+// utilization often exhibits repeating patterns over time, an AS can
+// forecast future requirements and reserve appropriate bandwidth for
+// segments in advance").
+type Forecast func(id reservation.ID, currentKbps uint64) (minKbps, maxKbps uint64)
+
+// SameBandwidth forecasts the current grant again.
+func SameBandwidth(_ reservation.ID, current uint64) (uint64, uint64) {
+	return 0, current
+}
+
+// AutoRenew renews and activates every locally initiated SegR whose active
+// version expires within lead seconds, using the forecast (SameBandwidth if
+// nil). It returns how many SegRs were renewed and the joined errors of the
+// ones that failed; failed renewals keep their current version until expiry
+// (§4.2's seamlessness applies: the old version serves until then).
+func (s *Service) AutoRenew(lead uint32, f Forecast) (int, error) {
+	if f == nil {
+		f = SameBandwidth
+	}
+	now := s.clock()
+	due := make([]*reservation.SegR, 0)
+	for _, segr := range s.store.InitiatedSegRs() {
+		if segr.Active.ExpT <= now+lead && segr.Pending == nil {
+			due = append(due, segr)
+		}
+	}
+	// Deterministic order for reproducible tests and fair bandwidth
+	// contention across runs.
+	sort.Slice(due, func(i, j int) bool { return due[i].ID.Num < due[j].ID.Num })
+
+	renewed := 0
+	var errs []error
+	for _, segr := range due {
+		minK, maxK := f(segr.ID, segr.Active.BwKbps)
+		ver, _, err := s.RenewSegment(segr.ID, minK, maxK)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("renew %s: %w", segr.ID, err))
+			continue
+		}
+		if err := s.ActivateSegment(segr.ID, ver); err != nil {
+			errs = append(errs, fmt.Errorf("activate %s: %w", segr.ID, err))
+			continue
+		}
+		renewed++
+	}
+	return renewed, errors.Join(errs...)
+}

@@ -1,0 +1,193 @@
+package cserv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"colibri/internal/reservation"
+	"colibri/internal/segment"
+	"colibri/internal/topology"
+)
+
+// Directory implements the dissemination of segment reservations of
+// Appendix C: initiators register their SegRs (optionally with an AS
+// whitelist), and CServs query it to assemble SegR chains covering a
+// destination. In a deployment this is the hierarchy of CServ caches
+// contacting remote CServs; here one shared directory with per-query
+// filtering models the same information flow (cache invalidation of App. C
+// corresponds to Expire/Unregister).
+type Directory struct {
+	mu     sync.RWMutex
+	offers map[reservation.ID]*Offer
+}
+
+// Offer is one registered segment reservation available for EER creation.
+type Offer struct {
+	ID  reservation.ID
+	Seg *segment.Segment
+	// Bw is the currently active bandwidth (informational, for chain
+	// selection).
+	Bw   uint64
+	ExpT uint32
+	// Whitelist restricts which ASes may build EERs over the SegR
+	// (nil = public), per Appendix C.
+	Whitelist map[topology.IA]bool
+}
+
+// usableBy reports whether the offer admits use by the given AS.
+func (o *Offer) usableBy(ia topology.IA) bool {
+	return o.Whitelist == nil || o.Whitelist[ia]
+}
+
+// NewDirectory builds an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{offers: make(map[reservation.ID]*Offer)}
+}
+
+// Register inserts or refreshes an offer.
+func (d *Directory) Register(o *Offer) {
+	d.mu.Lock()
+	d.offers[o.ID] = o
+	d.mu.Unlock()
+}
+
+// Unregister removes an offer.
+func (d *Directory) Unregister(id reservation.ID) {
+	d.mu.Lock()
+	delete(d.offers, id)
+	d.mu.Unlock()
+}
+
+// Expire drops offers past their expiry.
+func (d *Directory) Expire(now uint32) {
+	d.mu.Lock()
+	for id, o := range d.offers {
+		if now >= o.ExpT {
+			delete(d.offers, id)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Len returns the number of registered offers.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.offers)
+}
+
+// chains enumerates joinable offer sequences from src to dst usable by
+// requester, shortest paths first, capped at limit.
+func (d *Directory) chains(src, dst, requester topology.IA, limit int) [][]*Offer {
+	d.mu.RLock()
+	var ups, cores, downs []*Offer
+	for _, o := range d.offers {
+		if !o.usableBy(requester) {
+			continue
+		}
+		switch o.Seg.Type {
+		case segment.Up:
+			if o.Seg.SrcIA() == src {
+				ups = append(ups, o)
+			}
+		case segment.Core:
+			cores = append(cores, o)
+		case segment.Down:
+			if o.Seg.DstIA() == dst {
+				downs = append(downs, o)
+			}
+		}
+	}
+	d.mu.RUnlock()
+
+	var out [][]*Offer
+	try := func(chain ...*Offer) {
+		segs := make([]*segment.Segment, len(chain))
+		for i, o := range chain {
+			segs[i] = o.Seg
+		}
+		if _, err := segment.Join(segs...); err == nil {
+			out = append(out, append([]*Offer(nil), chain...))
+		}
+	}
+	// Single-segment chains.
+	for _, u := range ups {
+		if u.Seg.DstIA() == dst {
+			try(u)
+		}
+	}
+	for _, dn := range downs {
+		if dn.Seg.SrcIA() == src {
+			try(dn)
+		}
+	}
+	for _, c := range cores {
+		if c.Seg.SrcIA() == src && c.Seg.DstIA() == dst {
+			try(c)
+		}
+	}
+	// Two-segment chains.
+	for _, u := range ups {
+		for _, dn := range downs {
+			if u.Seg.DstIA() == dn.Seg.SrcIA() {
+				try(u, dn)
+			}
+		}
+		for _, c := range cores {
+			if u.Seg.DstIA() == c.Seg.SrcIA() && c.Seg.DstIA() == dst {
+				try(u, c)
+			}
+		}
+	}
+	for _, c := range cores {
+		if c.Seg.SrcIA() != src {
+			continue
+		}
+		for _, dn := range downs {
+			if c.Seg.DstIA() == dn.Seg.SrcIA() {
+				try(c, dn)
+			}
+		}
+	}
+	// Three-segment chains.
+	for _, u := range ups {
+		for _, c := range cores {
+			if u.Seg.DstIA() != c.Seg.SrcIA() {
+				continue
+			}
+			for _, dn := range downs {
+				if c.Seg.DstIA() == dn.Seg.SrcIA() {
+					try(u, c, dn)
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return chainLen(out[i]) < chainLen(out[j]) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func chainLen(chain []*Offer) int {
+	n := 0
+	for _, o := range chain {
+		n += o.Seg.Len() - 1
+	}
+	return n + 1
+}
+
+// SegRsTo returns joinable SegR chains from this AS to dstIA, shortest
+// first. It is what the end-host daemon queries before an EER request
+// (Appendix C).
+func (s *Service) SegRsTo(dstIA topology.IA) ([][]*Offer, error) {
+	if s.dir == nil {
+		return nil, fmt.Errorf("cserv: no directory configured")
+	}
+	chains := s.dir.chains(s.ia, dstIA, s.ia, 8)
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("cserv: no segment reservations from %s to %s", s.ia, dstIA)
+	}
+	return chains, nil
+}

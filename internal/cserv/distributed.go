@@ -1,0 +1,119 @@
+package cserv
+
+import (
+	"fmt"
+
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+)
+
+// SubServicePool implements the distributed CServ of Appendix D for ASes
+// whose reservation load exceeds one machine: EER handling is decomposed
+// into sub-services, each owning a disjoint subset of the AS's segment
+// reservations, while a coordinator keeps the complete SegR view needed for
+// SegR admission.
+//
+// The decomposition is valid because "the decision of an AS to admit an EER
+// depends only on the state of the adjacent SegRs that are used in the
+// requested reservation" — so, as the appendix requires of the load
+// balancer, "all EEReqs based on the same underlying SegR are processed by
+// the same sub-service", and sub-services never contend.
+//
+// Each sub-service is backed by its own reservation.Store (its own lock
+// domain, standing in for its own machine); AssignSegR replicates a SegR's
+// record to its owning sub-service.
+type SubServicePool struct {
+	local  topology.IA
+	shards []*reservation.Store
+}
+
+// NewSubServicePool creates n sub-services for the AS.
+func NewSubServicePool(local topology.IA, n int) *SubServicePool {
+	if n < 1 {
+		n = 1
+	}
+	p := &SubServicePool{local: local, shards: make([]*reservation.Store, n)}
+	for i := range p.shards {
+		p.shards[i] = reservation.NewStore(local)
+	}
+	return p
+}
+
+// shardOf routes a SegR to its owning sub-service. The appendix routes by
+// ingress/egress interface; hashing the globally unique reservation ID
+// spreads load evenly with the same correctness property (one SegR → one
+// sub-service).
+func (p *SubServicePool) shardOf(id reservation.ID) *reservation.Store {
+	h := uint64(id.SrcAS)*0x9E3779B97F4A7C15 + uint64(id.Num)
+	h ^= h >> 29
+	return p.shards[h%uint64(len(p.shards))]
+}
+
+// AssignSegR installs a SegR at its owning sub-service (the coordinator
+// calls this after SegR admission).
+func (p *SubServicePool) AssignSegR(segr *reservation.SegR) error {
+	return p.shardOf(segr.ID).AddSegR(segr)
+}
+
+// AdmitEER admits one EER version over the SegRs, which must share a
+// sub-service. EERs spanning two SegRs at a transfer AS are supported when
+// both land on the same shard; otherwise the appendix's two-step
+// decomposition (ingress then egress sub-service) applies, which this pool
+// surfaces as ErrCrossShard for the caller to split.
+func (p *SubServicePool) AdmitEER(eer *reservation.EER, segIDs []reservation.ID, v reservation.Version, now uint32) error {
+	if len(segIDs) == 0 {
+		return fmt.Errorf("cserv: no segment reservations given")
+	}
+	shard := p.shardOf(segIDs[0])
+	for _, id := range segIDs[1:] {
+		if p.shardOf(id) != shard {
+			return ErrCrossShard
+		}
+	}
+	return shard.AdmitEERVersion(eer, segIDs, v, now)
+}
+
+// ErrCrossShard indicates a transfer-AS EER whose two SegRs live on
+// different sub-services; the caller performs the appendix's split
+// admission (ingress sub-service, then egress sub-service).
+var ErrCrossShard = fmt.Errorf("cserv: segment reservations owned by different sub-services")
+
+// AdmitEERSplit performs the two-step transfer-AS admission across shards:
+// each SegR's owning sub-service checks and charges independently, with
+// rollback of the first on failure of the second ("the decision can be
+// split into two separate problems", App. D).
+func (p *SubServicePool) AdmitEERSplit(eer *reservation.EER, segIDs []reservation.ID, v reservation.Version, now uint32) error {
+	admitted := make([]*reservation.Store, 0, len(segIDs))
+	for _, id := range segIDs {
+		shard := p.shardOf(id)
+		e := &reservation.EER{
+			ID: eer.ID, In: eer.In, Eg: eer.Eg,
+			SrcHost: eer.SrcHost, DstHost: eer.DstHost,
+		}
+		if err := shard.AdmitEERVersion(e, []reservation.ID{id}, v, now); err != nil {
+			for _, s := range admitted {
+				_ = s.RemoveEERVersion(eer.ID, v.Ver)
+			}
+			return err
+		}
+		admitted = append(admitted, shard)
+	}
+	return nil
+}
+
+// Cleanup runs expiry on all sub-services and returns the removed SegRs.
+func (p *SubServicePool) Cleanup(now uint32) []reservation.ID {
+	var removed []reservation.ID
+	for _, s := range p.shards {
+		removed = append(removed, s.Cleanup(now)...)
+	}
+	return removed
+}
+
+// Shards returns the number of sub-services.
+func (p *SubServicePool) Shards() int { return len(p.shards) }
+
+// SegR returns the record of a SegR from its owning sub-service.
+func (p *SubServicePool) SegR(id reservation.ID) (*reservation.SegR, error) {
+	return p.shardOf(id).GetSegR(id)
+}

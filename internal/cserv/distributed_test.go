@@ -1,0 +1,163 @@
+package cserv
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+)
+
+func poolSegR(id reservation.ID, bw uint64) *reservation.SegR {
+	return &reservation.SegR{
+		ID: id, In: 1, Eg: 2,
+		Active: reservation.Version{Ver: 1, BwKbps: bw, ExpT: t0 + 300},
+	}
+}
+
+func TestSubServicePoolRouting(t *testing.T) {
+	p := NewSubServicePool(ia(1, 1), 4)
+	if p.Shards() != 4 {
+		t.Fatalf("shards = %d", p.Shards())
+	}
+	// Install many SegRs; each must be retrievable through the pool.
+	for i := uint32(1); i <= 100; i++ {
+		id := reservation.ID{SrcAS: ia(1, 1), Num: i}
+		if err := p.AssignSegR(poolSegR(id, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(1); i <= 100; i++ {
+		id := reservation.ID{SrcAS: ia(1, 1), Num: i}
+		if _, err := p.SegR(id); err != nil {
+			t.Fatalf("SegR %d not found: %v", i, err)
+		}
+	}
+}
+
+func TestSubServicePoolAdmitsAndIsolates(t *testing.T) {
+	p := NewSubServicePool(ia(1, 1), 4)
+	sid := reservation.ID{SrcAS: ia(1, 1), Num: 1}
+	if err := p.AssignSegR(poolSegR(sid, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	eer := &reservation.EER{ID: reservation.ID{SrcAS: ia(1, 9), Num: 1}}
+	v := reservation.Version{Ver: 1, BwKbps: 600, ExpT: t0 + 16}
+	if err := p.AdmitEER(eer, []reservation.ID{sid}, v, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Over-capacity on the same SegR is refused by its owning shard.
+	eer2 := &reservation.EER{ID: reservation.ID{SrcAS: ia(1, 9), Num: 2}}
+	v2 := reservation.Version{Ver: 1, BwKbps: 600, ExpT: t0 + 16}
+	if err := p.AdmitEER(eer2, []reservation.ID{sid}, v2, t0); !errors.Is(err, reservation.ErrInsufficient) {
+		t.Errorf("over-capacity: %v", err)
+	}
+	sr, err := p.SegR(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.AllocatedEERKbps != 600 {
+		t.Errorf("allocated = %d", sr.AllocatedEERKbps)
+	}
+}
+
+func TestSubServicePoolCrossShardSplit(t *testing.T) {
+	p := NewSubServicePool(ia(1, 1), 8)
+	// Find two SegRs on different shards.
+	var a, b reservation.ID
+	for i := uint32(1); ; i++ {
+		id := reservation.ID{SrcAS: ia(1, 1), Num: i}
+		if a.IsZero() {
+			a = id
+			continue
+		}
+		if p.shardOf(id) != p.shardOf(a) {
+			b = id
+			break
+		}
+	}
+	if err := p.AssignSegR(poolSegR(a, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignSegR(poolSegR(b, 500)); err != nil {
+		t.Fatal(err)
+	}
+	eer := &reservation.EER{ID: reservation.ID{SrcAS: ia(1, 9), Num: 1}}
+	v := reservation.Version{Ver: 1, BwKbps: 400, ExpT: t0 + 16}
+	// Direct admission reports the cross-shard condition…
+	if err := p.AdmitEER(eer, []reservation.ID{a, b}, v, t0); !errors.Is(err, ErrCrossShard) {
+		t.Fatalf("cross-shard: %v", err)
+	}
+	// …and the App. D split admission handles it, charging both.
+	if err := p.AdmitEERSplit(eer, []reservation.ID{a, b}, v, t0); err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := p.SegR(a)
+	rb, _ := p.SegR(b)
+	if ra.AllocatedEERKbps != 400 || rb.AllocatedEERKbps != 400 {
+		t.Errorf("allocations: %d, %d", ra.AllocatedEERKbps, rb.AllocatedEERKbps)
+	}
+	// Failure at the second SegR rolls back the first.
+	eer2 := &reservation.EER{ID: reservation.ID{SrcAS: ia(1, 9), Num: 2}}
+	v2 := reservation.Version{Ver: 1, BwKbps: 400, ExpT: t0 + 16}
+	if err := p.AdmitEERSplit(eer2, []reservation.ID{a, b}, v2, t0); err == nil {
+		t.Fatal("over-capacity split admission succeeded")
+	}
+	ra, _ = p.SegR(a)
+	if ra.AllocatedEERKbps != 400 {
+		t.Errorf("rollback leaked: %d", ra.AllocatedEERKbps)
+	}
+}
+
+// TestSubServicePoolParallel drives admissions from many goroutines across
+// shards — the scaling mode of App. D (run with -race).
+func TestSubServicePoolParallel(t *testing.T) {
+	p := NewSubServicePool(ia(1, 1), 8)
+	const segs = 64
+	for i := uint32(1); i <= segs; i++ {
+		id := reservation.ID{SrcAS: ia(1, 1), Num: i}
+		if err := p.AssignSegR(poolSegR(id, 1<<30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sid := reservation.ID{SrcAS: ia(1, 1), Num: uint32(1 + (g*500+i)%segs)}
+				eer := &reservation.EER{ID: reservation.ID{SrcAS: ia(1, topology.ASID(100+g)), Num: uint32(i + 1)}}
+				v := reservation.Version{Ver: 1, BwKbps: 10, ExpT: t0 + 16}
+				if err := p.AdmitEER(eer, []reservation.ID{sid}, v, t0); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All admitted bandwidth is accounted.
+	var total uint64
+	for i := uint32(1); i <= segs; i++ {
+		sr, err := p.SegR(reservation.ID{SrcAS: ia(1, 1), Num: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += sr.AllocatedEERKbps
+	}
+	if total != 8*500*10 {
+		t.Errorf("total allocated = %d, want %d", total, 8*500*10)
+	}
+	// Cleanup across shards works.
+	removed := p.Cleanup(t0 + 1000)
+	if len(removed) != segs {
+		t.Errorf("cleanup removed %d SegRs", len(removed))
+	}
+}

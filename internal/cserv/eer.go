@@ -1,0 +1,331 @@
+package cserv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"colibri/internal/cryptoutil"
+	"colibri/internal/packet"
+	"colibri/internal/reservation"
+	"colibri/internal/segment"
+	"colibri/internal/topology"
+)
+
+// EERGrant is the result of a successful EER setup or renewal, ready to be
+// installed at the Colibri gateway. PathHops and Splits retain the request
+// parameters so renewals can be issued over the same reservation.
+type EERGrant struct {
+	ID       reservation.ID
+	Res      packet.ResInfo
+	EER      packet.EERInfo
+	Path     []packet.HopField
+	PathHops []PathHop
+	Splits   []uint8
+	HopAuths []cryptoutil.Key
+	SegIDs   []reservation.ID
+}
+
+// RequestEER performs a complete EER setup on behalf of a local end host
+// (§3.3, Fig. 1b): pick joinable SegRs to the destination AS from the
+// directory, chain the request through the on-path CServs, collect and
+// decrypt the hop authenticators. Chains are tried in order until one
+// admits the reservation — the path choice of §2.1.
+func (s *Service) RequestEER(srcHost, dstHost uint32, dstIA topology.IA, bwKbps uint64) (*EERGrant, error) {
+	chains, err := s.SegRsTo(dstIA)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, chain := range chains {
+		grant, err := s.requestEEROverChain(srcHost, dstHost, bwKbps, chain)
+		if err == nil {
+			return grant, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cserv: no segment reservations towards %s", dstIA)
+	}
+	return nil, lastErr
+}
+
+func (s *Service) requestEEROverChain(srcHost, dstHost uint32, bwKbps uint64, chain []*Offer) (*EERGrant, error) {
+	segs := make([]*segment.Segment, len(chain))
+	segIDs := make([]reservation.ID, len(chain))
+	for i, off := range chain {
+		segs[i] = off.Seg
+		segIDs[i] = off.ID
+	}
+	path, err := segment.Join(segs...)
+	if err != nil {
+		return nil, err
+	}
+	// Transfer-AS positions: cumulative segment ends.
+	splits := make([]uint8, 0, len(segs)-1)
+	pos := 0
+	for i := 0; i < len(segs)-1; i++ {
+		pos += segs[i].Len() - 1
+		splits = append(splits, uint8(pos))
+	}
+	now := s.clock()
+	req := &EESetupReq{
+		ID:      s.store.NextID(),
+		SegIDs:  segIDs,
+		Splits:  splits,
+		Path:    HopsFromPath(path),
+		BwKbps:  bwKbps,
+		ExpT:    now + reservation.EERLifetimeSeconds,
+		Ver:     1,
+		SrcHost: srcHost,
+		DstHost: dstHost,
+	}
+	return s.launchEE(req)
+}
+
+// RenewEER renews an existing EER for a new version with possibly different
+// bandwidth. Multiple versions remain valid concurrently, enabling seamless
+// transition (§4.2).
+func (s *Service) RenewEER(prev *EERGrant, newBwKbps uint64) (*EERGrant, error) {
+	now := s.clock()
+	req := &EESetupReq{
+		ID:      prev.ID,
+		SegIDs:  prev.SegIDs,
+		Splits:  prev.Splits,
+		Path:    prev.PathHops,
+		BwKbps:  newBwKbps,
+		ExpT:    now + reservation.EERLifetimeSeconds,
+		Ver:     prev.Res.Ver + 1,
+		SrcHost: prev.EER.SrcHost,
+		DstHost: prev.EER.DstHost,
+		Renewal: true,
+	}
+	return s.launchEE(req)
+}
+
+// launchEE signs and runs an EE request from hop 0.
+func (s *Service) launchEE(req *EESetupReq) (*EERGrant, error) {
+	macs, err := s.computeMacs(req.Path, req.Body())
+	if err != nil {
+		return nil, err
+	}
+	req.Macs = macs
+	resp := s.processEESetup(req, 0, req.BwKbps)
+	if !resp.OK {
+		return nil, fmt.Errorf("%w: EER setup failed at hop %d: %s", ErrRefused, resp.FailedAt, resp.Reason)
+	}
+	grant := &EERGrant{
+		ID: req.ID,
+		Res: packet.ResInfo{
+			SrcAS:  req.ID.SrcAS,
+			ResID:  req.ID.Num,
+			BwKbps: uint32(resp.FinalKbps),
+			ExpT:   req.ExpT,
+			Ver:    req.Ver,
+		},
+		EER:      packet.EERInfo{SrcHost: req.SrcHost, DstHost: req.DstHost},
+		Path:     HopFields(req.Path),
+		PathHops: append([]PathHop(nil), req.Path...),
+		Splits:   append([]uint8(nil), req.Splits...),
+		SegIDs:   append([]reservation.ID(nil), req.SegIDs...),
+	}
+	// Decrypt the hop authenticators (Eq. 5): AS_i sealed σ_i under
+	// K_{AS_i→us}, which we hold in the key store.
+	now := s.clock()
+	grant.HopAuths = make([]cryptoutil.Key, len(req.Path))
+	for i, enc := range resp.EncAuths {
+		var key cryptoutil.Key
+		if req.Path[i].IA == s.ia {
+			key, _ = s.engine.Level1(s.ia, now)
+		} else {
+			key, err = s.keys.Get(req.Path[i].IA, now)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pt, err := cryptoutil.Open(key, enc, eerAuthAD(req.ID, uint8(i)))
+		if err != nil {
+			return nil, fmt.Errorf("cserv: opening hop authenticator %d: %w", i, err)
+		}
+		copy(grant.HopAuths[i][:], pt)
+	}
+	return grant, nil
+}
+
+// eerAuthAD binds an encrypted hop authenticator to its reservation and hop.
+func eerAuthAD(id reservation.ID, hop uint8) []byte {
+	var ad [13]byte
+	binary.BigEndian.PutUint64(ad[0:8], uint64(id.SrcAS))
+	binary.BigEndian.PutUint32(ad[8:12], id.Num)
+	ad[12] = hop
+	return ad[:]
+}
+
+// segsCovering returns the indices into req.SegIDs of the segment
+// reservations this hop participates in (one normally, two at transfer
+// ASes).
+func segsCovering(req *EESetupReq, idx int) []int {
+	if len(req.SegIDs) == 1 {
+		return []int{0}
+	}
+	start := 0
+	var covering []int
+	for k := 0; k < len(req.SegIDs); k++ {
+		end := len(req.Path) - 1
+		if k < len(req.Splits) {
+			end = int(req.Splits[k])
+		}
+		if idx >= start && idx <= end {
+			covering = append(covering, k)
+		}
+		start = end
+	}
+	return covering
+}
+
+// processEESetup handles an EER setup/renewal request at hop idx.
+func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ *EESetupResp) {
+	defer func() {
+		switch {
+		case resp_.OK && req.Renewal:
+			s.metrics.EERenewOK.Add(1)
+		case resp_.OK:
+			s.metrics.EESetupOK.Add(1)
+		case req.Renewal:
+			s.metrics.EERenewFail.Add(1)
+		default:
+			s.metrics.EESetupFail.Add(1)
+		}
+	}()
+	fail := func(format string, args ...any) *EESetupResp {
+		return &EESetupResp{FailedAt: uint8(idx), Reason: fmt.Sprintf(format, args...)}
+	}
+	if idx > 0 {
+		if err := s.verifySourceMac(req.ID.SrcAS, req.Body(), req.Macs, idx); err != nil {
+			s.metrics.AuthFailures.Add(1)
+			return fail("authentication: %v", err)
+		}
+		if !s.rate.Allow(req.ID.SrcAS, s.clock()) {
+			s.metrics.RateLimited.Add(1)
+			return fail("rate limited")
+		}
+	}
+	hop := req.Path[idx]
+	now := s.clock()
+	// Per-EER renewal rate limiting (§4.2: e.g. one renewal per second).
+	if req.Renewal && !s.renewLim.Allow(req.ID, now) {
+		s.metrics.RenewThrottle.Add(1)
+		return fail("renewal rate limit: EER %s already renewed this second", req.ID)
+	}
+
+	// Source-AS policy (§4.7: "the source AS has a direct business
+	// relationship with the end host").
+	if idx == 0 {
+		if err := s.policy.AllowEER(req.SrcHost, req.BwKbps); err != nil {
+			return fail("policy: %v", err)
+		}
+	}
+	// Destination approval (§3.3: the destination host "also has to
+	// explicitly accept the EER request").
+	if idx == len(req.Path)-1 && !s.dstApprove(req) {
+		return fail("destination refused")
+	}
+
+	covering := segsCovering(req, idx)
+	localSegIDs := make([]reservation.ID, 0, 2)
+	segRs := make([]*reservation.SegR, 0, 2)
+	for _, k := range covering {
+		sr, err := s.store.GetSegR(req.SegIDs[k])
+		if err != nil {
+			return fail("segment reservation: %v", err)
+		}
+		localSegIDs = append(localSegIDs, sr.ID)
+		segRs = append(segRs, sr)
+	}
+
+	// Transfer-AS proportional split between up- and core-SegR (§4.7).
+	grant := accum
+	if len(segRs) == 2 && segRs[0].SegType == segment.Up && segRs[1].SegType == segment.Core {
+		up, core := segRs[0], segRs[1]
+		asked := grant
+		grant = s.transfer.Admit(core.ID, up.ID, asked,
+			up.Active.BwKbps, core.Active.BwKbps,
+			up.AvailableEERKbps(), core.AvailableEERKbps())
+		// A *setup* is granted in full or refused (§4.7: "the intended
+		// bandwidth is granted if there is sufficient available bandwidth");
+		// only renewals may be granted a reduced amount (§4.2).
+		if grant == 0 || (!req.Renewal && grant < asked) {
+			demand := asked
+			if demand > up.Active.BwKbps {
+				demand = up.Active.BwKbps
+			}
+			s.transfer.Release(core.ID, up.ID, demand, grant)
+			return fail("transfer split: only %d of %d kbps available on core SegR %s",
+				grant, asked, core.ID)
+		}
+	}
+
+	// Admit (reserve) the requested bandwidth against the local SegRs; the
+	// backward pass adjusts it down to the path-wide minimum.
+	eer := &reservation.EER{
+		ID:      req.ID,
+		In:      hop.In,
+		Eg:      hop.Eg,
+		SrcHost: req.SrcHost,
+		DstHost: req.DstHost,
+	}
+	v := reservation.Version{Ver: req.Ver, BwKbps: grant, ExpT: req.ExpT}
+	if err := s.store.AdmitEERVersion(eer, localSegIDs, v, now); err != nil {
+		return fail("admission: %v", err)
+	}
+	rollback := func() { _ = s.store.RemoveEERVersion(req.ID, req.Ver) }
+
+	var resp *EESetupResp
+	if idx == len(req.Path)-1 {
+		resp = &EESetupResp{
+			OK:        true,
+			FinalKbps: grant,
+			EncAuths:  make([][]byte, len(req.Path)),
+		}
+	} else {
+		next := req.Path[idx+1].IA
+		fwd := *req
+		fwd.AccumKbps = grant
+		data, err := s.transport.Call(next, fwd.Marshal())
+		if err != nil {
+			resp = &EESetupResp{FailedAt: uint8(idx + 1), Reason: fmt.Sprintf("transport: %v", err)}
+		} else if resp, err = UnmarshalEESetupResp(data); err != nil {
+			resp = &EESetupResp{FailedAt: uint8(idx + 1), Reason: fmt.Sprintf("response: %v", err)}
+		}
+	}
+	if !resp.OK {
+		rollback()
+		return resp
+	}
+
+	final := resp.FinalKbps
+	if final < grant {
+		if err := s.store.AdjustEERVersion(req.ID, req.Ver, final); err != nil {
+			rollback()
+			return fail("adjust: %v", err)
+		}
+	}
+	// Compute σ_i (Eq. 4) over the final reservation parameters and seal it
+	// for the source AS (Eq. 5).
+	res := &packet.ResInfo{
+		SrcAS:  req.ID.SrcAS,
+		ResID:  req.ID.Num,
+		BwKbps: uint32(final),
+		ExpT:   req.ExpT,
+		Ver:    req.Ver,
+	}
+	eerInfo := &packet.EERInfo{SrcHost: req.SrcHost, DstHost: req.DstHost}
+	sigma := s.hopAuth(res, eerInfo, packet.HopField{In: hop.In, Eg: hop.Eg})
+	key, _ := s.engine.Level1(req.ID.SrcAS, now)
+	sealed, err := cryptoutil.Seal(key, sigma[:], eerAuthAD(req.ID, uint8(idx)))
+	if err != nil {
+		rollback()
+		return fail("seal: %v", err)
+	}
+	resp.EncAuths[idx] = sealed
+	return resp
+}

@@ -1,0 +1,499 @@
+// Package cserv implements the Colibri service (CServ), the per-AS
+// control-plane component of §3.2–§4.4: it initiates, admits, renews, and
+// activates segment reservations; admits end-to-end reservations over them;
+// authenticates every control-plane message with DRKey-derived symmetric
+// keys; registers and disseminates SegRs (Appendix C); and rate-limits
+// requests per source AS.
+//
+// Inter-AS communication is synchronous request/response over a Transport
+// (the paper uses gRPC over QUIC): a setup request chains through the
+// on-path CServs and the response returns through the same chain, letting
+// every AS confirm or roll back its temporary reservation — the
+// "transactional" behaviour of §3.3.
+package cserv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"colibri/internal/cryptoutil"
+	"colibri/internal/packet"
+	"colibri/internal/reservation"
+	"colibri/internal/segment"
+	"colibri/internal/topology"
+)
+
+// Wire format: all integers big-endian; slices length-prefixed with uint16.
+// Every request carries one 16-byte CMAC per on-path AS over the request
+// body (§4.5: MAC_{K_{AS_i→SrcAS}}(payload)), appended after the body.
+
+// Message type tags.
+const (
+	tagSegSetup    = 1
+	tagSegRenew    = 2
+	tagSegActivate = 3
+	tagEESetup     = 4
+	tagEERenew     = 5
+)
+
+// Errors of the wire layer.
+var (
+	ErrTruncated = errors.New("cserv: truncated message")
+	ErrBadTag    = errors.New("cserv: unexpected message tag")
+)
+
+// PathHop is one AS of a request path with its local interfaces.
+type PathHop struct {
+	IA     topology.IA
+	In, Eg topology.IfID
+}
+
+// HopsFromSegment converts a segment to request path hops.
+func HopsFromSegment(seg *segment.Segment) []PathHop {
+	hops := make([]PathHop, seg.Len())
+	for i, h := range seg.Hops {
+		hops[i] = PathHop{IA: h.IA, In: h.In, Eg: h.Eg}
+	}
+	return hops
+}
+
+// HopsFromPath converts an end-to-end path to request path hops.
+func HopsFromPath(p *segment.Path) []PathHop {
+	hops := make([]PathHop, p.Len())
+	for i, h := range p.Hops {
+		hops[i] = PathHop{IA: h.IA, In: h.In, Eg: h.Eg}
+	}
+	return hops
+}
+
+// HopFields converts path hops to packet hop fields.
+func HopFields(hops []PathHop) []packet.HopField {
+	out := make([]packet.HopField, len(hops))
+	for i, h := range hops {
+		out[i] = packet.HopField{In: h.In, Eg: h.Eg}
+	}
+	return out
+}
+
+// SegSetupReq is the segment-reservation setup request (§4.4). The same
+// structure carries renewals (tag differs) since renewals re-negotiate the
+// same fields over the existing reservation.
+type SegSetupReq struct {
+	ID      reservation.ID
+	SegType segment.Type
+	Path    []PathHop
+	MinKbps uint64
+	MaxKbps uint64
+	ExpT    uint32
+	Ver     uint16
+	// Renewal marks this request as a renewal of an existing SegR.
+	Renewal bool
+	// Macs[i] authenticates Body() towards Path[i].IA.
+	Macs [][cryptoutil.MACSize]byte
+	// AccumKbps is the running minimum of the grants of the ASes traversed
+	// so far ("it then updates the request with the granted amount of
+	// bandwidth and forwards it", §3.3). It is AS-added data and therefore
+	// outside the source's MACs; in the paper each AS authenticates its own
+	// additions with its DRKey key, which the synchronous response chain
+	// models here.
+	AccumKbps uint64
+}
+
+// Body returns the MAC-covered canonical encoding.
+func (r *SegSetupReq) Body() []byte {
+	b := make([]byte, 0, 64+8*len(r.Path))
+	tag := byte(tagSegSetup)
+	if r.Renewal {
+		tag = tagSegRenew
+	}
+	b = append(b, tag)
+	b = appendID(b, r.ID)
+	b = append(b, byte(r.SegType), boolByte(r.Renewal))
+	b = appendHops(b, r.Path)
+	b = binary.BigEndian.AppendUint64(b, r.MinKbps)
+	b = binary.BigEndian.AppendUint64(b, r.MaxKbps)
+	b = binary.BigEndian.AppendUint32(b, r.ExpT)
+	b = binary.BigEndian.AppendUint16(b, r.Ver)
+	return b
+}
+
+// Marshal appends the MACs and the mutable accumulator to the body.
+func (r *SegSetupReq) Marshal() []byte {
+	return binary.BigEndian.AppendUint64(appendMacs(r.Body(), r.Macs), r.AccumKbps)
+}
+
+// UnmarshalSegSetupReq parses a SegSetupReq.
+func UnmarshalSegSetupReq(data []byte) (*SegSetupReq, error) {
+	d := decoder{buf: data}
+	tag := d.u8()
+	r := &SegSetupReq{}
+	r.ID = d.id()
+	r.SegType = segment.Type(d.u8())
+	r.Renewal = d.u8() == 1
+	r.Path = d.hops()
+	r.MinKbps = d.u64()
+	r.MaxKbps = d.u64()
+	r.ExpT = d.u32()
+	r.Ver = d.u16()
+	r.Macs = d.macs()
+	r.AccumKbps = d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if tag != tagSegSetup && tag != tagSegRenew {
+		return nil, ErrBadTag
+	}
+	return r, nil
+}
+
+// SegSetupResp travels the reverse path. Grants accumulate per AS on the
+// forward pass; on success FinalKbps is the minimum and Tokens carries the
+// Eq. (3) token of each AS, ordered like the path.
+type SegSetupResp struct {
+	OK        bool
+	FailedAt  uint8 // path index of the refusing AS (when !OK)
+	Reason    string
+	FinalKbps uint64
+	Tokens    [][packet.HVFLen]byte
+}
+
+// Marshal encodes the response.
+func (r *SegSetupResp) Marshal() []byte {
+	b := []byte{boolByte(r.OK), r.FailedAt}
+	b = appendString(b, r.Reason)
+	b = binary.BigEndian.AppendUint64(b, r.FinalKbps)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Tokens)))
+	for _, tok := range r.Tokens {
+		b = append(b, tok[:]...)
+	}
+	return b
+}
+
+// UnmarshalSegSetupResp parses a SegSetupResp.
+func UnmarshalSegSetupResp(data []byte) (*SegSetupResp, error) {
+	d := decoder{buf: data}
+	r := &SegSetupResp{}
+	r.OK = d.u8() == 1
+	r.FailedAt = d.u8()
+	r.Reason = d.str()
+	r.FinalKbps = d.u64()
+	n := int(d.u16())
+	for i := 0; i < n && d.err == nil; i++ {
+		var tok [packet.HVFLen]byte
+		d.bytes(tok[:])
+		r.Tokens = append(r.Tokens, tok)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+// SegActivateReq switches a SegR to its pending version (§4.2).
+type SegActivateReq struct {
+	ID   reservation.ID
+	Ver  uint16
+	Path []PathHop
+	Macs [][cryptoutil.MACSize]byte
+}
+
+// Body returns the MAC-covered canonical encoding.
+func (r *SegActivateReq) Body() []byte {
+	b := []byte{tagSegActivate}
+	b = appendID(b, r.ID)
+	b = binary.BigEndian.AppendUint16(b, r.Ver)
+	b = appendHops(b, r.Path)
+	return b
+}
+
+// Marshal appends the MACs to the body.
+func (r *SegActivateReq) Marshal() []byte { return appendMacs(r.Body(), r.Macs) }
+
+// UnmarshalSegActivateReq parses a SegActivateReq.
+func UnmarshalSegActivateReq(data []byte) (*SegActivateReq, error) {
+	d := decoder{buf: data}
+	if d.u8() != tagSegActivate {
+		return nil, ErrBadTag
+	}
+	r := &SegActivateReq{}
+	r.ID = d.id()
+	r.Ver = d.u16()
+	r.Path = d.hops()
+	r.Macs = d.macs()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+// EESetupReq is the end-to-end-reservation setup request (§4.4). SegIDs are
+// the underlying segment reservations; Splits are the path indices of the
+// transfer ASes joining them (len(SegIDs)-1 entries).
+type EESetupReq struct {
+	ID      reservation.ID
+	SegIDs  []reservation.ID
+	Splits  []uint8
+	Path    []PathHop
+	BwKbps  uint64
+	ExpT    uint32
+	Ver     uint16
+	SrcHost uint32
+	DstHost uint32
+	Renewal bool
+	Macs    [][cryptoutil.MACSize]byte
+	// AccumKbps mirrors SegSetupReq.AccumKbps for EER requests.
+	AccumKbps uint64
+}
+
+// Body returns the MAC-covered canonical encoding.
+func (r *EESetupReq) Body() []byte {
+	tag := byte(tagEESetup)
+	if r.Renewal {
+		tag = tagEERenew
+	}
+	b := []byte{tag}
+	b = appendID(b, r.ID)
+	b = append(b, byte(len(r.SegIDs)))
+	for _, id := range r.SegIDs {
+		b = appendID(b, id)
+	}
+	b = append(b, byte(len(r.Splits)))
+	b = append(b, r.Splits...)
+	b = appendHops(b, r.Path)
+	b = binary.BigEndian.AppendUint64(b, r.BwKbps)
+	b = binary.BigEndian.AppendUint32(b, r.ExpT)
+	b = binary.BigEndian.AppendUint16(b, r.Ver)
+	b = binary.BigEndian.AppendUint32(b, r.SrcHost)
+	b = binary.BigEndian.AppendUint32(b, r.DstHost)
+	b = append(b, boolByte(r.Renewal))
+	return b
+}
+
+// Marshal appends the MACs and the mutable accumulator to the body.
+func (r *EESetupReq) Marshal() []byte {
+	return binary.BigEndian.AppendUint64(appendMacs(r.Body(), r.Macs), r.AccumKbps)
+}
+
+// UnmarshalEESetupReq parses an EESetupReq.
+func UnmarshalEESetupReq(data []byte) (*EESetupReq, error) {
+	d := decoder{buf: data}
+	tag := d.u8()
+	r := &EESetupReq{}
+	r.ID = d.id()
+	nseg := int(d.u8())
+	for i := 0; i < nseg && d.err == nil; i++ {
+		r.SegIDs = append(r.SegIDs, d.id())
+	}
+	nsplit := int(d.u8())
+	for i := 0; i < nsplit && d.err == nil; i++ {
+		r.Splits = append(r.Splits, d.u8())
+	}
+	r.Path = d.hops()
+	r.BwKbps = d.u64()
+	r.ExpT = d.u32()
+	r.Ver = d.u16()
+	r.SrcHost = d.u32()
+	r.DstHost = d.u32()
+	r.Renewal = d.u8() == 1
+	r.Macs = d.macs()
+	r.AccumKbps = d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if tag != tagEESetup && tag != tagEERenew {
+		return nil, ErrBadTag
+	}
+	return r, nil
+}
+
+// EESetupResp travels the reverse path; on success, EncAuths[i] carries
+// AEAD_{K_{AS_i→SrcAS}}(σ_i) for the source AS's gateway (Eq. 5).
+type EESetupResp struct {
+	OK        bool
+	FailedAt  uint8
+	Reason    string
+	FinalKbps uint64
+	EncAuths  [][]byte
+}
+
+// Marshal encodes the response.
+func (r *EESetupResp) Marshal() []byte {
+	b := []byte{boolByte(r.OK), r.FailedAt}
+	b = appendString(b, r.Reason)
+	b = binary.BigEndian.AppendUint64(b, r.FinalKbps)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.EncAuths)))
+	for _, ea := range r.EncAuths {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(ea)))
+		b = append(b, ea...)
+	}
+	return b
+}
+
+// UnmarshalEESetupResp parses an EESetupResp.
+func UnmarshalEESetupResp(data []byte) (*EESetupResp, error) {
+	d := decoder{buf: data}
+	r := &EESetupResp{}
+	r.OK = d.u8() == 1
+	r.FailedAt = d.u8()
+	r.Reason = d.str()
+	r.FinalKbps = d.u64()
+	n := int(d.u16())
+	for i := 0; i < n && d.err == nil; i++ {
+		m := int(d.u16())
+		ea := make([]byte, m)
+		d.bytes(ea)
+		r.EncAuths = append(r.EncAuths, ea)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+// --- encoding helpers ---
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendID(b []byte, id reservation.ID) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(id.SrcAS))
+	return binary.BigEndian.AppendUint32(b, id.Num)
+}
+
+func appendHops(b []byte, hops []PathHop) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(hops)))
+	for _, h := range hops {
+		b = binary.BigEndian.AppendUint64(b, uint64(h.IA))
+		b = binary.BigEndian.AppendUint16(b, uint16(h.In))
+		b = binary.BigEndian.AppendUint16(b, uint16(h.Eg))
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > 1<<16-1 {
+		s = s[:1<<16-1]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendMacs(b []byte, macs [][cryptoutil.MACSize]byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(macs)))
+	for _, m := range macs {
+		b = append(b, m[:]...)
+	}
+	return b
+}
+
+// decoder is a cursor with sticky error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.buf) < n {
+		d.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf)
+	d.buf = d.buf[2:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) bytes(dst []byte) {
+	if !d.need(len(dst)) {
+		return
+	}
+	copy(dst, d.buf)
+	d.buf = d.buf[len(dst):]
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) id() reservation.ID {
+	return reservation.ID{SrcAS: topology.IA(d.u64()), Num: d.u32()}
+}
+
+func (d *decoder) hops() []PathHop {
+	n := int(d.u16())
+	if n > packet.MaxHops {
+		d.err = fmt.Errorf("cserv: %d hops exceeds maximum", n)
+		return nil
+	}
+	hops := make([]PathHop, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		hops = append(hops, PathHop{
+			IA: topology.IA(d.u64()),
+			In: topology.IfID(d.u16()),
+			Eg: topology.IfID(d.u16()),
+		})
+	}
+	return hops
+}
+
+func (d *decoder) macs() [][cryptoutil.MACSize]byte {
+	n := int(d.u16())
+	if n > packet.MaxHops {
+		d.err = fmt.Errorf("cserv: %d MACs exceeds maximum", n)
+		return nil
+	}
+	macs := make([][cryptoutil.MACSize]byte, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		var m [cryptoutil.MACSize]byte
+		d.bytes(m[:])
+		macs = append(macs, m)
+	}
+	return macs
+}

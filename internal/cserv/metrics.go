@@ -1,0 +1,97 @@
+package cserv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"colibri/internal/reservation"
+)
+
+// Metrics counts the service's control-plane activity. All counters are
+// safe for concurrent use; Snapshot returns a consistent copy.
+type Metrics struct {
+	SegSetupOK    atomic.Uint64
+	SegSetupFail  atomic.Uint64
+	SegRenewOK    atomic.Uint64
+	SegRenewFail  atomic.Uint64
+	SegActivate   atomic.Uint64
+	EESetupOK     atomic.Uint64
+	EESetupFail   atomic.Uint64
+	EERenewOK     atomic.Uint64
+	EERenewFail   atomic.Uint64
+	AuthFailures  atomic.Uint64
+	RateLimited   atomic.Uint64
+	RenewThrottle atomic.Uint64
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters.
+type MetricsSnapshot struct {
+	SegSetupOK, SegSetupFail  uint64
+	SegRenewOK, SegRenewFail  uint64
+	SegActivate               uint64
+	EESetupOK, EESetupFail    uint64
+	EERenewOK, EERenewFail    uint64
+	AuthFailures, RateLimited uint64
+	RenewThrottle             uint64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		SegSetupOK:    m.SegSetupOK.Load(),
+		SegSetupFail:  m.SegSetupFail.Load(),
+		SegRenewOK:    m.SegRenewOK.Load(),
+		SegRenewFail:  m.SegRenewFail.Load(),
+		SegActivate:   m.SegActivate.Load(),
+		EESetupOK:     m.EESetupOK.Load(),
+		EESetupFail:   m.EESetupFail.Load(),
+		EERenewOK:     m.EERenewOK.Load(),
+		EERenewFail:   m.EERenewFail.Load(),
+		AuthFailures:  m.AuthFailures.Load(),
+		RateLimited:   m.RateLimited.Load(),
+		RenewThrottle: m.RenewThrottle.Load(),
+	}
+}
+
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf(
+		"seg setup %d/%d renew %d/%d activate %d | ee setup %d/%d renew %d/%d | auth-fail %d rate-limited %d renew-throttled %d",
+		s.SegSetupOK, s.SegSetupFail, s.SegRenewOK, s.SegRenewFail, s.SegActivate,
+		s.EESetupOK, s.EESetupFail, s.EERenewOK, s.EERenewFail,
+		s.AuthFailures, s.RateLimited, s.RenewThrottle)
+}
+
+// renewLimiter enforces §4.2's per-EER renewal rate limit ("CServs can
+// rate-limit the amount of renewal requests for an EER (e.g., to one per
+// second)").
+type renewLimiter struct {
+	mu   sync.Mutex
+	last map[reservation.ID]uint32
+}
+
+func newRenewLimiter() *renewLimiter {
+	return &renewLimiter{last: make(map[reservation.ID]uint32)}
+}
+
+// Allow admits at most one renewal per EER per second.
+func (l *renewLimiter) Allow(id reservation.ID, now uint32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t, ok := l.last[id]; ok && t == now {
+		return false
+	}
+	l.last[id] = now
+	return true
+}
+
+// Expire drops stale entries (called from Tick).
+func (l *renewLimiter) Expire(now uint32) {
+	l.mu.Lock()
+	for id, t := range l.last {
+		if now > t+2*reservation.EERLifetimeSeconds {
+			delete(l.last, id)
+		}
+	}
+	l.mu.Unlock()
+}

@@ -1,0 +1,48 @@
+package cserv
+
+import (
+	"sync"
+
+	"colibri/internal/topology"
+)
+
+// RateLimiter bounds control-plane requests per source AS per second (§5.3:
+// "the CServ can very efficiently filter unauthentic packets and employ
+// per-AS rate limiting"). A fixed one-second window keeps per-AS state to a
+// single counter.
+type RateLimiter struct {
+	mu     sync.Mutex
+	perSec int
+	window uint32
+	counts map[topology.IA]int
+}
+
+// NewRateLimiter allows perSec requests per source AS per second.
+func NewRateLimiter(perSec int) *RateLimiter {
+	return &RateLimiter{perSec: perSec, counts: make(map[topology.IA]int)}
+}
+
+// Allow reports whether another request from src fits the current window.
+func (r *RateLimiter) Allow(src topology.IA, now uint32) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now != r.window {
+		r.window = now
+		clear(r.counts)
+	}
+	if r.counts[src] >= r.perSec {
+		return false
+	}
+	r.counts[src]++
+	return true
+}
+
+// Tick lets the limiter drop stale state (called from Service.Tick).
+func (r *RateLimiter) Tick(now uint32) {
+	r.mu.Lock()
+	if now != r.window {
+		r.window = now
+		clear(r.counts)
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,609 @@
+package cserv
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"colibri/internal/cryptoutil"
+	"colibri/internal/drkey"
+	"colibri/internal/packet"
+	"colibri/internal/reservation"
+	"colibri/internal/segment"
+	"colibri/internal/topology"
+)
+
+func ia(isd topology.ISD, as topology.ASID) topology.IA { return topology.MustIA(isd, as) }
+
+// fabric wires all CServs and key servers of a topology in-process.
+type fabric struct {
+	topo     *topology.Topology
+	reg      *segment.Registry
+	dir      *Directory
+	services map[topology.IA]*Service
+	keySrvs  map[topology.IA]*drkey.Server
+	clock    atomic.Uint32
+}
+
+func (f *fabric) Call(dst topology.IA, msg []byte) ([]byte, error) {
+	s, ok := f.services[dst]
+	if !ok {
+		return nil, errors.New("fabric: no CServ at " + dst.String())
+	}
+	return s.HandleMsg(msg)
+}
+
+func (f *fabric) QueryKeyServer(dst topology.IA, req []byte) ([]byte, error) {
+	ks, ok := f.keySrvs[dst]
+	if !ok {
+		return nil, errors.New("fabric: no key server at " + dst.String())
+	}
+	return ks.Handle(req)
+}
+
+func (f *fabric) now() uint32 { return f.clock.Load() }
+
+const t0 = uint32(1_700_000_000)
+
+// newFabric builds services for every AS of the topology.
+func newFabric(t testing.TB, topo *topology.Topology, mutate func(ia topology.IA, cfg *Config)) *fabric {
+	t.Helper()
+	f := &fabric{
+		topo:     topo,
+		reg:      segment.Discover(topo, segment.DiscoverOpts{}),
+		dir:      NewDirectory(),
+		services: make(map[topology.IA]*Service),
+		keySrvs:  make(map[topology.IA]*drkey.Server),
+	}
+	f.clock.Store(t0)
+
+	ids := make([]*drkey.Identity, 0, len(topo.ASes))
+	engines := make(map[topology.IA]*drkey.Engine)
+	for _, iaKey := range topo.SortedIAs() {
+		id := drkey.NewIdentity(iaKey)
+		ids = append(ids, id)
+		engines[iaKey] = drkey.NewEngine(iaKey, drkey.RandomMaster(), 0)
+		f.keySrvs[iaKey] = drkey.NewServer(engines[iaKey], id)
+	}
+	trust := drkey.NewTrustStore(ids...)
+	for _, iaKey := range topo.SortedIAs() {
+		cfg := Config{
+			AS:        topo.AS(iaKey),
+			Topo:      topo,
+			Secret:    asSecret(iaKey),
+			Engine:    engines[iaKey],
+			Keys:      drkey.NewStore(iaKey, f, trust),
+			Directory: f.dir,
+			Transport: f,
+			Clock:     f.now,
+		}
+		if mutate != nil {
+			mutate(iaKey, &cfg)
+		}
+		f.services[iaKey] = New(cfg)
+	}
+	return f
+}
+
+// asSecret derives a deterministic per-AS data-plane secret for tests.
+func asSecret(iaKey topology.IA) cryptoutil.Key {
+	var k cryptoutil.Key
+	k[0] = byte(iaKey >> 48)
+	k[1] = byte(iaKey)
+	k[15] = 0x5a
+	return k
+}
+
+func twoISDFabric(t testing.TB, mutate func(ia topology.IA, cfg *Config)) *fabric {
+	return newFabric(t, topology.TwoISD(topology.LinkSpec{}), mutate)
+}
+
+// setupAllSegRs creates the up-, core-, and down-SegRs covering
+// 1-11 → 2-11 on the TwoISD topology and returns them.
+func (f *fabric) setupAllSegRs(t testing.TB, bwKbps uint64) (up, core, down *reservation.SegR) {
+	t.Helper()
+	upSeg := f.reg.UpSegments(ia(1, 11))[0]
+	coreSeg := f.reg.CoreSegments(ia(1, 1), ia(2, 1))[0]
+	downSeg := f.reg.DownSegments(ia(2, 11))[0]
+
+	var err error
+	up, err = f.services[ia(1, 11)].SetupSegment(upSeg, 0, bwKbps)
+	if err != nil {
+		t.Fatalf("up SegR: %v", err)
+	}
+	core, err = f.services[ia(1, 1)].SetupSegment(coreSeg, 0, bwKbps)
+	if err != nil {
+		t.Fatalf("core SegR: %v", err)
+	}
+	down, err = f.services[ia(2, 1)].SetupSegment(downSeg, 0, bwKbps)
+	if err != nil {
+		t.Fatalf("down SegR: %v", err)
+	}
+	return up, core, down
+}
+
+func TestSegmentSetup(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	seg := f.reg.UpSegments(ia(1, 11))[0] // 1-11 → 1-2 → 1-1
+	segr, err := f.services[ia(1, 11)].SetupSegment(seg, 1000, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segr.Active.BwKbps != 50_000 {
+		t.Errorf("granted %d kbps", segr.Active.BwKbps)
+	}
+	if len(segr.Tokens) != seg.Len() {
+		t.Errorf("%d tokens for %d hops", len(segr.Tokens), seg.Len())
+	}
+	// Every on-path AS stores the reservation at the final bandwidth.
+	for _, h := range seg.Hops {
+		r, err := f.services[h.IA].Store().GetSegR(segr.ID)
+		if err != nil {
+			t.Fatalf("AS %s has no SegR: %v", h.IA, err)
+		}
+		if r.Active.BwKbps != 50_000 || r.Active.Ver != 1 {
+			t.Errorf("AS %s stored %+v", h.IA, r.Active)
+		}
+	}
+	// The token matches the on-path AS's own Eq. 3 computation.
+	res := &packet.ResInfo{SrcAS: segr.ID.SrcAS, ResID: segr.ID.Num,
+		BwKbps: 50_000, ExpT: segr.Active.ExpT, Ver: 1}
+	midAS := seg.Hops[1]
+	want := f.services[midAS.IA].segToken(res, packet.HopField{In: midAS.In, Eg: midAS.Eg})
+	if segr.Tokens[1] != want {
+		t.Error("returned token does not match on-path computation")
+	}
+	// Registered in the directory.
+	if f.dir.Len() != 1 {
+		t.Errorf("directory has %d offers", f.dir.Len())
+	}
+}
+
+func TestSegmentSetupMinRefused(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	seg := f.reg.UpSegments(ia(1, 11))[0]
+	// The access link is 40 Gbps with 75% reservable = 30 Gbps; demanding
+	// a 35 Gbps minimum must fail, leaving no state anywhere.
+	_, err := f.services[ia(1, 11)].SetupSegment(seg, 35_000_000, 35_000_000)
+	if err == nil {
+		t.Fatal("over-capacity minimum granted")
+	}
+	for _, h := range seg.Hops {
+		segs, _ := f.services[h.IA].Store().Counts()
+		if segs != 0 {
+			t.Errorf("AS %s kept %d temporary SegRs after failure", h.IA, segs)
+		}
+	}
+}
+
+func TestSegmentRenewalAndActivation(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	seg := f.reg.UpSegments(ia(1, 11))[0]
+	src := f.services[ia(1, 11)]
+	segr, err := src.SetupSegment(seg, 0, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, final, err := src.RenewSegment(segr.ID, 0, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 2 || final != 40_000 {
+		t.Fatalf("renewal: ver=%d final=%d", ver, final)
+	}
+	// Pending everywhere, active unchanged.
+	for _, h := range seg.Hops {
+		r, _ := f.services[h.IA].Store().GetSegR(segr.ID)
+		if r.Active.BwKbps != 20_000 || r.Pending == nil || r.Pending.BwKbps != 40_000 {
+			t.Fatalf("AS %s state: active %+v pending %+v", h.IA, r.Active, r.Pending)
+		}
+	}
+	if err := src.ActivateSegment(segr.ID, ver); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range seg.Hops {
+		r, _ := f.services[h.IA].Store().GetSegR(segr.ID)
+		if r.Active.BwKbps != 40_000 || r.Active.Ver != 2 || r.Pending != nil {
+			t.Fatalf("AS %s after activation: %+v", h.IA, r)
+		}
+	}
+}
+
+func TestEERSetupEndToEnd(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	f.setupAllSegRs(t, 100_000)
+	src := f.services[ia(1, 11)]
+	grant, err := src.RequestEER(0x0a000001, 0x14000001, ia(2, 11), 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.Res.BwKbps != 8_000 {
+		t.Errorf("final bw = %d", grant.Res.BwKbps)
+	}
+	if len(grant.Path) != 5 || len(grant.HopAuths) != 5 {
+		t.Fatalf("path %d hops, %d hop auths", len(grant.Path), len(grant.HopAuths))
+	}
+	// Each σ_i matches the on-path AS's own Eq. 4 computation.
+	for i, ph := range grant.PathHops {
+		svc := f.services[ph.IA]
+		want := svc.hopAuth(&grant.Res, &grant.EER, packet.HopField{In: ph.In, Eg: ph.Eg})
+		if grant.HopAuths[i] != want {
+			t.Errorf("hop %d (%s): σ mismatch", i, ph.IA)
+		}
+	}
+	// Every on-path AS accounts the EER against its SegRs.
+	for _, ph := range grant.PathHops {
+		if _, err := f.services[ph.IA].Store().GetEER(grant.ID); err != nil {
+			t.Errorf("AS %s has no EER record: %v", ph.IA, err)
+		}
+	}
+}
+
+func TestEERRenewalVersions(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	f.setupAllSegRs(t, 100_000)
+	src := f.services[ia(1, 11)]
+	g1, err := src.RequestEER(1, 2, ia(2, 11), 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := src.RenewEER(g1, 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Res.Ver != 2 || g2.Res.BwKbps != 12_000 {
+		t.Fatalf("renewed grant: %+v", g2.Res)
+	}
+	// Both versions coexist at a transit AS; budget is the max, not sum.
+	e, err := f.services[ia(1, 2)].Store().GetEER(g1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Versions) != 2 {
+		t.Fatalf("transit AS has %d versions", len(e.Versions))
+	}
+	if got := e.MaxBwKbps(f.now()); got != 12_000 {
+		t.Errorf("MaxBwKbps = %d", got)
+	}
+}
+
+func TestEERInsufficientSegRRolledBack(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	// Core SegR is the bottleneck: 10 Mbps only.
+	upSeg := f.reg.UpSegments(ia(1, 11))[0]
+	coreSeg := f.reg.CoreSegments(ia(1, 1), ia(2, 1))[0]
+	downSeg := f.reg.DownSegments(ia(2, 11))[0]
+	if _, err := f.services[ia(1, 11)].SetupSegment(upSeg, 0, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.services[ia(1, 1)].SetupSegment(coreSeg, 0, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.services[ia(2, 1)].SetupSegment(downSeg, 0, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	src := f.services[ia(1, 11)]
+	// First EER takes 8 of the 10 Mbps.
+	if _, err := src.RequestEER(1, 2, ia(2, 11), 8_000); err != nil {
+		t.Fatal(err)
+	}
+	// Second cannot fit 8 Mbps anywhere (core exhausted): refused.
+	if _, err := src.RequestEER(3, 4, ia(2, 11), 8_000); err == nil {
+		t.Fatal("over-committing EER accepted")
+	}
+	// No residual versions of the failed EER linger at the early hops.
+	for _, iaKey := range []topology.IA{ia(1, 11), ia(1, 2), ia(1, 3)} {
+		_, eers := f.services[iaKey].Store().Counts()
+		if eers > 1 {
+			t.Errorf("AS %s has %d EER records after rollback", iaKey, eers)
+		}
+	}
+}
+
+func TestControlPlaneAuthRejected(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	seg := f.reg.UpSegments(ia(1, 11))[0]
+	src := f.services[ia(1, 11)]
+	req := &SegSetupReq{
+		ID:      src.Store().NextID(),
+		SegType: seg.Type,
+		Path:    HopsFromSegment(seg),
+		MaxKbps: 1000,
+		ExpT:    t0 + 300,
+		Ver:     1,
+	}
+	// Garbage MACs: hop 1 must refuse with an authentication failure.
+	req.Macs = make([][cryptoutil.MACSize]byte, len(req.Path))
+	resp := src.processSegSetup(req, 0, req.MaxKbps)
+	if resp.OK {
+		t.Fatal("forged request accepted")
+	}
+	if resp.FailedAt != 1 || !strings.Contains(resp.Reason, "authentication") {
+		t.Errorf("failure = hop %d, %q", resp.FailedAt, resp.Reason)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	f := twoISDFabric(t, func(iaKey topology.IA, cfg *Config) {
+		cfg.RateLimit = 2
+	})
+	seg := f.reg.UpSegments(ia(1, 11))[0]
+	src := f.services[ia(1, 11)]
+	ok, limited := 0, 0
+	for i := 0; i < 4; i++ {
+		if _, err := src.SetupSegment(seg, 0, 1000); err != nil {
+			if strings.Contains(err.Error(), "rate limited") {
+				limited++
+			} else {
+				t.Fatal(err)
+			}
+		} else {
+			ok++
+		}
+	}
+	if ok != 2 || limited != 2 {
+		t.Errorf("ok=%d limited=%d, want 2/2", ok, limited)
+	}
+	// Next second the budget refreshes.
+	f.clock.Store(t0 + 1)
+	if _, err := src.SetupSegment(seg, 0, 1000); err != nil {
+		t.Errorf("after window turnover: %v", err)
+	}
+}
+
+func TestHostPolicyEnforced(t *testing.T) {
+	f := twoISDFabric(t, func(iaKey topology.IA, cfg *Config) {
+		if iaKey == ia(1, 11) {
+			cfg.Policy = &HostCapPolicy{DefaultCapKbps: 10_000}
+		}
+	})
+	f.setupAllSegRs(t, 100_000)
+	src := f.services[ia(1, 11)]
+	if _, err := src.RequestEER(7, 2, ia(2, 11), 8_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.RequestEER(7, 2, ia(2, 11), 8_000); err == nil {
+		t.Fatal("host exceeded its cap")
+	}
+	// A different host is unaffected.
+	if _, err := src.RequestEER(8, 2, ia(2, 11), 8_000); err != nil {
+		t.Errorf("other host blocked: %v", err)
+	}
+}
+
+func TestDestinationVeto(t *testing.T) {
+	f := twoISDFabric(t, func(iaKey topology.IA, cfg *Config) {
+		if iaKey == ia(2, 11) {
+			cfg.DstApprove = func(req *EESetupReq) bool { return req.DstHost != 99 }
+		}
+	})
+	f.setupAllSegRs(t, 100_000)
+	src := f.services[ia(1, 11)]
+	if _, err := src.RequestEER(1, 99, ia(2, 11), 1_000); err == nil {
+		t.Fatal("vetoed destination accepted")
+	}
+	if _, err := src.RequestEER(1, 2, ia(2, 11), 1_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickReleasesExpired(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	up, _, _ := f.setupAllSegRs(t, 100_000)
+	src := f.services[ia(1, 11)]
+	if _, err := src.RequestEER(1, 2, ia(2, 11), 8_000); err != nil {
+		t.Fatal(err)
+	}
+	transit := f.services[ia(1, 2)]
+	r, _ := transit.Store().GetSegR(up.ID)
+	if r.AllocatedEERKbps != 8_000 {
+		t.Fatalf("allocated = %d", r.AllocatedEERKbps)
+	}
+	// EERs live 16 s; advance past expiry and tick.
+	f.clock.Store(t0 + reservation.EERLifetimeSeconds + 1)
+	transit.Tick()
+	r, _ = transit.Store().GetSegR(up.ID)
+	if r.AllocatedEERKbps != 0 {
+		t.Errorf("allocated after expiry = %d", r.AllocatedEERKbps)
+	}
+	// Advance past SegR expiry: SegRs vanish and admission state empties.
+	f.clock.Store(t0 + reservation.SegRLifetimeSeconds + 1)
+	transit.Tick()
+	segs, eers := transit.Store().Counts()
+	if segs != 0 || eers != 0 {
+		t.Errorf("counts after SegR expiry: %d, %d", segs, eers)
+	}
+	if transit.Admission().Len() != 0 {
+		t.Errorf("admission still tracks %d reservations", transit.Admission().Len())
+	}
+}
+
+func TestDirectoryWhitelist(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	f.setupAllSegRs(t, 100_000)
+	// Restrict the up SegR's offer to some other AS.
+	chains, err := f.services[ia(1, 11)].SegRsTo(ia(2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) == 0 {
+		t.Fatal("no chains before whitelist change")
+	}
+	for _, chain := range chains {
+		for _, off := range chain {
+			if off.Seg.Type == segment.Up {
+				off.Whitelist = map[topology.IA]bool{ia(9, 9): true}
+			}
+		}
+	}
+	if _, err := f.services[ia(1, 11)].SegRsTo(ia(2, 11)); err == nil {
+		t.Error("whitelisted-away offers still usable")
+	}
+}
+
+func TestSegRsToOrdering(t *testing.T) {
+	f := twoISDFabric(t, nil)
+	f.setupAllSegRs(t, 100_000)
+	// Also set up the alternative up-SegR via 1-3: two chains now exist.
+	alt := f.reg.UpSegments(ia(1, 11))[1]
+	if _, err := f.services[ia(1, 11)].SetupSegment(alt, 0, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	chains, err := f.services[ia(1, 11)].SegRsTo(ia(2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) < 2 {
+		t.Fatalf("%d chains, want ≥ 2 (path choice)", len(chains))
+	}
+	for i := 1; i < len(chains); i++ {
+		if chainLen(chains[i-1]) > chainLen(chains[i]) {
+			t.Error("chains not sorted by length")
+		}
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	segReq := &SegSetupReq{
+		ID:      reservation.ID{SrcAS: ia(1, 11), Num: 7},
+		SegType: segment.Up,
+		Path: []PathHop{
+			{IA: ia(1, 11), Eg: 1},
+			{IA: ia(1, 1), In: 2},
+		},
+		MinKbps:   100,
+		MaxKbps:   1000,
+		ExpT:      t0,
+		Ver:       3,
+		Renewal:   true,
+		Macs:      make([][cryptoutil.MACSize]byte, 2),
+		AccumKbps: 555,
+	}
+	segReq.Macs[0][0] = 0xAA
+	data := segReq.Marshal()
+	got, err := UnmarshalSegSetupReq(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != segReq.ID || got.Ver != 3 || !got.Renewal || got.AccumKbps != 555 ||
+		len(got.Path) != 2 || got.Path[1].In != 2 || got.Macs[0][0] != 0xAA {
+		t.Errorf("SegSetupReq round trip: %+v", got)
+	}
+
+	eeReq := &EESetupReq{
+		ID:      reservation.ID{SrcAS: ia(1, 11), Num: 9},
+		SegIDs:  []reservation.ID{{SrcAS: ia(1, 11), Num: 1}, {SrcAS: ia(1, 1), Num: 2}},
+		Splits:  []uint8{2},
+		Path:    segReq.Path,
+		BwKbps:  8000,
+		ExpT:    t0,
+		Ver:     1,
+		SrcHost: 5,
+		DstHost: 6,
+		Macs:    make([][cryptoutil.MACSize]byte, 2),
+	}
+	got2, err := UnmarshalEESetupReq(eeReq.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.ID != eeReq.ID || len(got2.SegIDs) != 2 || got2.Splits[0] != 2 ||
+		got2.SrcHost != 5 || got2.DstHost != 6 {
+		t.Errorf("EESetupReq round trip: %+v", got2)
+	}
+
+	resp := &SegSetupResp{OK: true, FinalKbps: 123, Tokens: [][packet.HVFLen]byte{{1, 2, 3, 4}}}
+	got3, err := UnmarshalSegSetupResp(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got3.OK || got3.FinalKbps != 123 || got3.Tokens[0] != [4]byte{1, 2, 3, 4} {
+		t.Errorf("SegSetupResp round trip: %+v", got3)
+	}
+
+	eresp := &EESetupResp{OK: false, FailedAt: 2, Reason: "no", EncAuths: [][]byte{{9, 9}}}
+	got4, err := UnmarshalEESetupResp(eresp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got4.OK || got4.FailedAt != 2 || got4.Reason != "no" || len(got4.EncAuths[0]) != 2 {
+		t.Errorf("EESetupResp round trip: %+v", got4)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalSegSetupReq(nil); err == nil {
+		t.Error("nil SegSetupReq accepted")
+	}
+	if _, err := UnmarshalSegSetupReq([]byte{tagEESetup}); err == nil {
+		t.Error("wrong tag accepted")
+	}
+	if _, err := UnmarshalEESetupReq([]byte{tagEESetup, 1, 2}); err == nil {
+		t.Error("truncated EESetupReq accepted")
+	}
+	if _, err := UnmarshalSegActivateReq([]byte{tagSegActivate}); err == nil {
+		t.Error("truncated SegActivateReq accepted")
+	}
+}
+
+// BenchmarkSegRHandleAtLastHop measures the paper's §6 quantity at unit
+// level: the time between a marshaled SegReq arriving at a CServ and the
+// response leaving it (the measured AS is the last hop, so no forwarding).
+func BenchmarkSegRHandleAtLastHop(b *testing.B) {
+	// The virtual clock never advances here, so disable per-second rate
+	// limiting to avoid measuring the limiter's refusals.
+	f := twoISDFabric(b, func(_ topology.IA, cfg *Config) { cfg.RateLimit = 1 << 30 })
+	seg := f.reg.UpSegments(ia(1, 11))[0]
+	src := f.services[ia(1, 11)]
+	last := f.services[seg.DstIA()]
+	// Pre-populate existing reservations at the measured AS.
+	for i := 0; i < 1000; i++ {
+		if _, err := src.SetupSegment(seg, 0, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const batch = 2048
+	reqs := make([][]byte, batch)
+	ids := make([]reservation.ID, batch)
+	mkBatch := func(gen int) {
+		for i := range reqs {
+			req := &SegSetupReq{
+				ID:      reservation.ID{SrcAS: ia(1, 11), Num: uint32(1<<30 + gen*batch + i)},
+				SegType: seg.Type,
+				Path:    HopsFromSegment(seg),
+				MaxKbps: 10,
+				ExpT:    t0 + 300,
+				Ver:     1,
+			}
+			macs, err := src.computeMacs(req.Path, req.Body())
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Macs = macs
+			req.AccumKbps = 10
+			reqs[i] = req.Marshal()
+			ids[i] = req.ID
+		}
+	}
+	mkBatch(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%batch == 0 {
+			b.StopTimer()
+			for _, id := range ids {
+				last.Admission().Release(id)
+				last.Store().DeleteSegR(id)
+			}
+			mkBatch(i / batch)
+			b.StartTimer()
+		}
+		data, err := last.HandleMsg(reqs[i%batch])
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := UnmarshalSegSetupResp(data)
+		if err != nil || !resp.OK {
+			b.Fatalf("refused: %v %s", err, resp.Reason)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package drkey
+
+import (
+	"sync"
+	"testing"
+
+	"colibri/internal/topology"
+)
+
+func TestEpochRolloverConsistency(t *testing.T) {
+	// Keys must agree between fast derivation and fetch in *every* epoch,
+	// including right at the boundary.
+	a, b := ia(1, 1), ia(1, 2)
+	engA := NewEngine(a, RandomMaster(), 1000)
+	idA := NewIdentity(a)
+	trust := NewTrustStore(idA)
+	tr := directTransport{a: NewServer(engA, idA)}
+	store := NewStore(b, tr, trust)
+
+	for _, when := range []uint32{999, 1000, 1001, 1999, 2000, 5000} {
+		fetched, err := store.Get(a, when)
+		if err != nil {
+			t.Fatalf("t=%d: %v", when, err)
+		}
+		derived, ep := engA.Level1(b, when)
+		if fetched != derived {
+			t.Errorf("t=%d (epoch %v): fetched != derived", when, ep)
+		}
+	}
+	// Distinct epochs yield distinct keys.
+	k1, _ := engA.Level1(b, 999)
+	k2, _ := engA.Level1(b, 1000)
+	if k1 == k2 {
+		t.Error("keys identical across epoch boundary")
+	}
+}
+
+// TestStoreConcurrentGet hammers the cache from many goroutines (run with
+// -race): concurrent misses and hits must be safe and converge to one
+// cached key per source.
+func TestStoreConcurrentGet(t *testing.T) {
+	const peers = 8
+	local := ia(1, 100)
+	tr := directTransport{}
+	ids := make([]*Identity, 0, peers)
+	for i := 1; i <= peers; i++ {
+		src := ia(1, topology.ASID(i))
+		id := NewIdentity(src)
+		ids = append(ids, id)
+		tr[src] = NewServer(NewEngine(src, RandomMaster(), 0), id)
+	}
+	store := NewStore(local, tr, NewTrustStore(ids...))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				src := ia(1, topology.ASID(1+(g+i)%peers))
+				if _, err := store.Get(src, 1_700_000_000); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if store.CachedCount() != peers {
+		t.Errorf("cached %d keys, want %d", store.CachedCount(), peers)
+	}
+}
+
+// TestEngineConcurrentDerivation: the engine memoizes the current epoch;
+// derivations for one epoch from many goroutines must agree. The engine is
+// documented as not concurrency-safe for *mutation* across epochs, so all
+// goroutines stay in one epoch — the common hot-path pattern.
+func TestEngineConcurrentDerivation(t *testing.T) {
+	eng := NewEngine(ia(1, 1), RandomMaster(), 0)
+	want, _ := eng.Level1(ia(1, 2), 1_700_000_000) // warm the epoch
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, _ := eng.Level1(ia(1, 2), 1_700_000_000)
+				if got != want {
+					t.Error("derivation mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"colibri/internal/packet"
+	"colibri/internal/workload"
+)
+
+// AppERow is one data point of Appendix E: gateway and border-router packet
+// rate as a function of payload size (the paper's claim: forwarding is not
+// influenced by the payload size).
+type AppERow struct {
+	Component    string
+	PayloadBytes int
+	Mpps         float64
+}
+
+// AppEPayloads mirrors the appendix's sweep (jumbo frames included).
+var AppEPayloads = []int{0, 100, 500, 1000, 1500}
+
+// RunAppendixE measures single-worker gateway construction and border-router
+// validation for each payload size, with 2^15 installed reservations as in
+// the appendix.
+func RunAppendixE(payloads []int, perPoint time.Duration) []AppERow {
+	if len(payloads) == 0 {
+		payloads = AppEPayloads
+	}
+	if perPoint == 0 {
+		perPoint = 200 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(14))
+	const r = 1 << 15
+	const hops = 4
+	gw, routers := workload.GatewayPopulation(r, hops, rng)
+	ids := workload.RandomResIDs(1<<16, r, rng)
+	var rows []AppERow
+
+	for _, p := range payloads {
+		payload := make([]byte, p)
+		w := gw.NewWorker()
+		out := make([]byte, 4096)
+		runtime.GC() // keep earlier allocations' collection out of the timing
+		ops := 0
+		now := workload.EpochNs
+		start := time.Now()
+		for time.Since(start) < perPoint {
+			for k := 0; k < 256; k++ {
+				now++
+				mustBuild(w.Build(ids[(ops+k)%len(ids)], payload, out, now))
+			}
+			ops += 256
+		}
+		rows = append(rows, AppERow{Component: "gateway", PayloadBytes: p,
+			Mpps: float64(ops) / time.Since(start).Seconds() / 1e6})
+	}
+
+	for _, p := range payloads {
+		// Pre-build last-hop packets with this payload size.
+		payload := make([]byte, p)
+		w := gw.NewWorker()
+		pkts := make([][]byte, 2048)
+		for i := range pkts {
+			buf := make([]byte, 4096)
+			sz, err := w.Build(ids[i%len(ids)], payload, buf, workload.EpochNs+int64(i))
+			if err != nil {
+				panic(err)
+			}
+			b := buf[:sz]
+			packet.SetCurrHopInPlace(b, hops-1)
+			pkts[i] = b
+		}
+		rw := routers[hops-1].NewWorker()
+		runtime.GC()
+		ops := 0
+		start := time.Now()
+		for time.Since(start) < perPoint {
+			for k := 0; k < 256; k++ {
+				if _, err := rw.Process(pkts[(ops+k)%len(pkts)], workload.EpochNs); err != nil {
+					panic(err)
+				}
+			}
+			ops += 256
+		}
+		rows = append(rows, AppERow{Component: "border-router", PayloadBytes: p,
+			Mpps: float64(ops) / time.Since(start).Seconds() / 1e6})
+	}
+	return rows
+}
+
+// FormatAppE renders the rows.
+func FormatAppE(rows []AppERow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Appendix E — forwarding rate [Mpps] vs. payload size (r = 2^15)\n")
+	fmt.Fprintf(&b, "%-16s %-14s %-10s\n", "component", "payload [B]", "Mpps")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-14d %-10.3f\n", r.Component, r.PayloadBytes, r.Mpps)
+	}
+	return b.String()
+}

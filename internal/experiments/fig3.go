@@ -1,0 +1,115 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 control plane, §7 data plane, Appendix E): each Run
+// function reproduces one experiment's parameter sweep and returns rows in
+// the same shape the paper reports. The cmd/colibri-bench tool prints them;
+// bench_test.go exposes them as testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"colibri/internal/admission"
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+	"colibri/internal/workload"
+)
+
+// Fig3Row is one data point of Fig. 3: SegR admission processing time as a
+// function of the number of existing SegRs on the same interface pair and
+// the fraction sharing the new request's source AS.
+type Fig3Row struct {
+	Existing  int
+	Ratio     float64
+	AvgMicros float64
+	StdErr    float64
+}
+
+// Fig3Defaults mirrors the paper's sweep: 0–10 000 existing SegRs, ratios
+// {0, 0.1, 0.5, 0.9}.
+var (
+	Fig3Existing = []int{0, 2000, 4000, 6000, 8000, 10000}
+	Fig3Ratios   = []float64{0, 0.1, 0.5, 0.9}
+)
+
+// RunFig3 measures one SegR admission (admit + release, halved) against
+// pre-populated admission state, `samples` times per point.
+func RunFig3(existing []int, ratios []float64, samples int) []Fig3Row {
+	if len(existing) == 0 {
+		existing = Fig3Existing
+	}
+	if len(ratios) == 0 {
+		ratios = Fig3Ratios
+	}
+	if samples == 0 {
+		samples = 100
+	}
+	rng := rand.New(rand.NewSource(3))
+	var rows []Fig3Row
+	for _, ratio := range ratios {
+		for _, n := range existing {
+			_, st := workload.TransitAS(2, 100_000_000)
+			srcMain := topology.MustIA(1, 500)
+			if err := workload.PopulateSegRs(st, n, ratio, srcMain, 1, 2, rng); err != nil {
+				panic(err)
+			}
+			durs := make([]float64, samples)
+			for i := range durs {
+				req := admission.Request{
+					ID:      reservation.ID{SrcAS: srcMain, Num: uint32(1 << 24)},
+					Src:     srcMain,
+					In:      1,
+					Eg:      2,
+					MaxKbps: 50,
+				}
+				start := time.Now()
+				if _, err := st.AdmitSegR(req); err != nil {
+					panic(err)
+				}
+				st.Release(req.ID)
+				durs[i] = float64(time.Since(start).Nanoseconds()) / 2 / 1000 // µs per admission
+			}
+			avg, se := meanStdErr(durs)
+			rows = append(rows, Fig3Row{Existing: n, Ratio: ratio, AvgMicros: avg, StdErr: se})
+		}
+	}
+	return rows
+}
+
+// FormatFig3 renders the rows as the paper's series (one line per ratio).
+func FormatFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — SegR admission processing time [µs] vs. existing SegRs\n")
+	fmt.Fprintf(&b, "%-10s %-8s %-14s %-10s\n", "existing", "ratio", "time [µs]", "stderr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %-8.1f %-14.3f %-10.3f\n", r.Existing, r.Ratio, r.AvgMicros, r.StdErr)
+	}
+	return b.String()
+}
+
+// meanStdErr computes a 10 %-trimmed mean and its standard error: single-
+// digit-µs measurements on a shared vCPU occasionally catch a scheduler or
+// GC hiccup three orders of magnitude above the signal, which an untrimmed
+// mean would report as the data point.
+func meanStdErr(xs []float64) (mean, stderr float64) {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	trim := len(sorted) / 10
+	sorted = sorted[trim : len(sorted)-trim]
+	for _, x := range sorted {
+		mean += x
+	}
+	mean /= float64(len(sorted))
+	var varsum float64
+	for _, x := range sorted {
+		varsum += (x - mean) * (x - mean)
+	}
+	if len(sorted) > 1 {
+		stderr = math.Sqrt(varsum/float64(len(sorted)-1)) / math.Sqrt(float64(len(sorted)))
+	}
+	return mean, stderr
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+	"colibri/internal/workload"
+)
+
+// Fig4Row is one data point of Fig. 4: EER admission processing time at a
+// transit AS as a function of the number of existing EERs sharing the same
+// SegR and the number of SegRs sharing the same source AS (s).
+type Fig4Row struct {
+	ExistingEERs int
+	SegRs        int
+	AvgMicros    float64
+	StdErr       float64
+}
+
+// Fig4Defaults mirrors the paper's sweep: 10¹–10⁵ EERs, s ∈ {1, 5000,
+// 10000}.
+var (
+	Fig4Existing = []int{10, 100, 1000, 10_000, 100_000}
+	Fig4SegRs    = []int{1, 5000, 10_000}
+)
+
+// RunFig4 measures one EER admission (admit + remove, halved) at a transit
+// AS against a pre-populated reservation store.
+func RunFig4(existing, segrs []int, samples int) []Fig4Row {
+	if len(existing) == 0 {
+		existing = Fig4Existing
+	}
+	if len(segrs) == 0 {
+		segrs = Fig4SegRs
+	}
+	if samples == 0 {
+		samples = 100
+	}
+	var rows []Fig4Row
+	for _, s := range segrs {
+		for _, n := range existing {
+			store, segID, err := workload.EERPopulation(s, n)
+			if err != nil {
+				panic(err)
+			}
+			durs := make([]float64, samples)
+			id := reservation.ID{SrcAS: topology.MustIA(1, 77), Num: 1 << 24}
+			for i := range durs {
+				v := reservation.Version{Ver: 1, BwKbps: 1, ExpT: workload.Epoch + 16}
+				start := time.Now()
+				if err := store.AdmitEERVersion(&reservation.EER{ID: id}, []reservation.ID{segID}, v, workload.Epoch); err != nil {
+					panic(err)
+				}
+				if err := store.RemoveEERVersion(id, 1); err != nil {
+					panic(err)
+				}
+				durs[i] = float64(time.Since(start).Nanoseconds()) / 2 / 1000
+			}
+			avg, se := meanStdErr(durs)
+			rows = append(rows, Fig4Row{ExistingEERs: n, SegRs: s, AvgMicros: avg, StdErr: se})
+		}
+	}
+	return rows
+}
+
+// FormatFig4 renders the rows as the paper's series (one line per s).
+func FormatFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — EER admission processing time [µs] at a transit AS\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-14s %-10s\n", "EERs", "s", "time [µs]", "stderr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %-8d %-14.3f %-10.3f\n", r.ExistingEERs, r.SegRs, r.AvgMicros, r.StdErr)
+	}
+	return b.String()
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; performance-floor
+// assertions are skipped under its ~20× instrumentation overhead.
+const raceEnabled = true

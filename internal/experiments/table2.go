@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"colibri/internal/cryptoutil"
+	"colibri/internal/netsim"
+	"colibri/internal/packet"
+	"colibri/internal/qos"
+	"colibri/internal/reservation"
+	"colibri/internal/router"
+	"colibri/internal/topology"
+	"colibri/internal/workload"
+)
+
+// Table2Row is one measurement row of Table 2: per-phase, per-traffic-class
+// input rates on the three ports and the delivered output rate, in Gbps.
+type Table2Row struct {
+	Phase  int
+	Class  string
+	Inputs [3]float64
+	Output float64
+}
+
+// Table 2 fixed parameters, as in the paper: three 40 Gbps input ports, one
+// 40 Gbps output, reservations of 0.4 and 0.8 Gbps.
+const (
+	t2LinkKbps = 40_000_000
+	t2Res1Kbps = 400_000
+	t2Res2Kbps = 800_000
+	t2PktBytes = 4000 // jumbo frames keep the event count tractable
+	// Measurement starts after a warm-up so that the token-bucket burst
+	// allowance of freshly watched flows does not inflate phase-3 rates.
+	t2WarmNs    = int64(150e6)
+	t2MeasureNs = int64(400e6)
+)
+
+// stamper builds authentic Colibri packets for one reservation directly
+// from the hop authenticators (the traffic generator plays remote source
+// ASes; in phase 3 it deliberately exceeds the reservation, modelling a
+// source AS that fails its monitoring duty).
+type stamper struct {
+	res   packet.ResInfo
+	eer   packet.EERInfo
+	path  []packet.HopField
+	auths []cryptoutil.Key
+	seq   uint64
+	label string
+	valid bool // false: random HVFs (unauthentic Colibri traffic)
+	rng   *rand.Rand
+}
+
+func (s *stamper) make(nowNs int64) *netsim.Packet {
+	s.seq++
+	pkt := packet.Packet{
+		Type:    packet.TData,
+		CurrHop: 1, // validated at the router under test
+		Res:     s.res,
+		EER:     s.eer,
+		Ts:      uint64(nowNs), // sources emit ≥800 ns apart: unique per source
+		Path:    s.path,
+		HVFs:    make([]byte, len(s.path)*packet.HVFLen),
+	}
+	pad := t2PktBytes - pkt.Length()
+	pkt.Payload = make([]byte, pad)
+	if s.valid {
+		var in [packet.HVFInputLen]byte
+		packet.HVFInput(&in, pkt.Ts, uint32(pkt.Length()))
+		for i, a := range s.auths {
+			var mac [cryptoutil.MACSize]byte
+			cryptoutil.MACOneBlock(cryptoutil.NewBlock(a), &mac, &in)
+			copy(pkt.HVFs[i*packet.HVFLen:], mac[:packet.HVFLen])
+		}
+	} else {
+		s.rng.Read(pkt.HVFs)
+	}
+	buf := make([]byte, pkt.Length())
+	if _, err := pkt.SerializeTo(buf); err != nil {
+		panic(err)
+	}
+	return &netsim.Packet{Header: buf, WireSize: len(buf), Class: qos.ClassEER, Meta: s.label}
+}
+
+// newStamper derives a reservation's authenticators for the router secret.
+func newStamper(secret cryptoutil.Key, resID uint32, bwKbps uint32, label string, valid bool, rng *rand.Rand) *stamper {
+	s := &stamper{
+		res: packet.ResInfo{
+			SrcAS:  topology.MustIA(1, topology.ASID(10+resID)),
+			ResID:  resID,
+			BwKbps: bwKbps,
+			ExpT:   workload.Epoch + reservation.SegRLifetimeSeconds,
+			Ver:    1,
+		},
+		eer:   packet.EERInfo{SrcHost: 1, DstHost: 2},
+		path:  []packet.HopField{{Eg: 1}, {In: 1, Eg: 2}, {In: 1}},
+		label: label,
+		valid: valid,
+		rng:   rng,
+	}
+	var in [packet.EERAuthLen]byte
+	var out [cryptoutil.MACSize]byte
+	cbc := cryptoutil.MustCBCMAC(secret)
+	s.auths = make([]cryptoutil.Key, len(s.path))
+	for i := range s.path {
+		packet.EERAuthInput(&in, &s.res, &s.eer, s.path[i])
+		cbc.SumInto(&out, in[:])
+		s.auths[i] = cryptoutil.Key(out)
+	}
+	return s
+}
+
+// t2Phase describes the offered load of one phase: rates in kbps per input
+// port and class.
+type t2Phase struct {
+	res1Rate    uint64 // port 0
+	res2Rate    uint64 // port 1
+	beRates     [3]uint64
+	unauthRate  uint64 // port 2
+	watchSeeded bool   // phase 3: reservations already under det. monitoring
+}
+
+// RunTable2 reproduces the three phases of Table 2 and returns the rows in
+// the paper's order.
+func RunTable2() []Table2Row {
+	phases := []t2Phase{
+		{res1Rate: t2Res1Kbps, res2Rate: t2Res2Kbps,
+			beRates: [3]uint64{0, 39_200_000, 40_000_000}},
+		{res1Rate: t2Res1Kbps, res2Rate: t2Res2Kbps,
+			beRates: [3]uint64{0, 39_200_000, 20_000_000}, unauthRate: 20_000_000},
+		{res1Rate: 40_000_000 /* overusing! */, res2Rate: t2Res2Kbps,
+			beRates: [3]uint64{0, 39_200_000, 20_000_000}, unauthRate: 20_000_000,
+			watchSeeded: true},
+	}
+	var rows []Table2Row
+	for pi, ph := range phases {
+		out := runT2Phase(ph)
+		gbps := func(label string) float64 {
+			return netsim.GbpsOver(out.ByLabel[label], t2MeasureNs)
+		}
+		inG := func(kbps uint64) float64 { return float64(kbps) / 1e6 }
+		rows = append(rows,
+			Table2Row{Phase: pi + 1, Class: "Reservation 1",
+				Inputs: [3]float64{inG(ph.res1Rate), 0, 0}, Output: gbps("res1")},
+			Table2Row{Phase: pi + 1, Class: "Reservation 2",
+				Inputs: [3]float64{0, inG(ph.res2Rate), 0}, Output: gbps("res2")},
+			Table2Row{Phase: pi + 1, Class: "Best effort",
+				Inputs: [3]float64{inG(ph.beRates[0]), inG(ph.beRates[1]), inG(ph.beRates[2])},
+				Output: gbps("be")},
+		)
+		if ph.unauthRate > 0 {
+			rows = append(rows, Table2Row{Phase: pi + 1, Class: "Colibri unauth.",
+				Inputs: [3]float64{0, 0, inG(ph.unauthRate)}, Output: gbps("unauth")})
+		}
+	}
+	return rows
+}
+
+// runT2Phase simulates one phase and returns the output counter.
+func runT2Phase(ph t2Phase) *netsim.Counter {
+	sim := netsim.NewSim()
+	rng := rand.New(rand.NewSource(2))
+	secret := cryptoutil.Key{0x42}
+	rt := router.New(router.Config{
+		IA:         topology.MustIA(1, 1),
+		Secret:     secret,
+		PoliceOnly: true,
+	})
+	worker := rt.NewWorker()
+
+	sink := netsim.NewCounter()
+	outPort := netsim.NewPort(sim, "out", t2LinkKbps, 0, qos.StrictPriority, sink, 0)
+
+	// The router node: validate Colibri packets, classify, enqueue.
+	routerNode := netsim.NodeFunc(func(pkt *netsim.Packet, _ int) {
+		if pkt.Class == qos.ClassEER {
+			if _, err := worker.Process(pkt.Header, workload.EpochNs+sim.Now()); err != nil {
+				return // dropped: unauthentic, overuse, …
+			}
+		}
+		outPort.Send(pkt)
+	})
+
+	st1 := newStamper(secret, 1, t2Res1Kbps, "res1", true, rng)
+	st2 := newStamper(secret, 2, t2Res2Kbps, "res2", true, rng)
+	stU := newStamper(secret, 3, t2Res2Kbps, "unauth", false, rng)
+	if ph.watchSeeded {
+		rt.Watch(reservation.ID{SrcAS: st1.res.SrcAS, Num: st1.res.ResID})
+		rt.Watch(reservation.ID{SrcAS: st2.res.SrcAS, Num: st2.res.ResID})
+	}
+
+	addSrc := func(port int, rate uint64, mk func() *netsim.Packet) {
+		if rate == 0 {
+			return
+		}
+		(&netsim.Source{
+			Sim: sim, Dst: routerNode, DstPort: port,
+			RateKbps: rate, PktBytes: t2PktBytes, StopNs: t2WarmNs + t2MeasureNs,
+			Make: mk,
+		}).Start(0)
+	}
+	addSrc(0, ph.res1Rate, func() *netsim.Packet { return st1.make(workload.EpochNs + sim.Now()) })
+	addSrc(1, ph.res2Rate, func() *netsim.Packet { return st2.make(workload.EpochNs + sim.Now()) })
+	addSrc(2, ph.unauthRate, func() *netsim.Packet { return stU.make(workload.EpochNs + sim.Now()) })
+	for port, rate := range ph.beRates {
+		addSrc(port, rate, func() *netsim.Packet {
+			return &netsim.Packet{WireSize: t2PktBytes, Class: qos.ClassBE, Meta: "be"}
+		})
+	}
+	sim.Run(t2WarmNs)
+	sink.Reset()
+	sim.Run(t2WarmNs + t2MeasureNs)
+	return sink
+}
+
+// FormatTable2 renders the rows like the paper's Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — data-plane protection [Gbps]\n")
+	fmt.Fprintf(&b, "%-7s %-16s %-8s %-8s %-8s %-8s\n",
+		"phase", "traffic class", "in 1", "in 2", "in 3", "output")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7d %-16s %-8.3f %-8.3f %-8.3f %-8.3f\n",
+			r.Phase, r.Class, r.Inputs[0], r.Inputs[1], r.Inputs[2], r.Output)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"colibri/internal/packet"
+)
+
+// TestConcurrentWorkersAndInstalls hammers the gateway from several worker
+// goroutines while reservations are installed, renewed, and removed
+// concurrently (run with -race). Build must never corrupt packets: every
+// successful build decodes to a consistent packet.
+func TestConcurrentWorkersAndInstalls(t *testing.T) {
+	g := New(srcAS)
+	for id := uint32(1); id <= 64; id++ {
+		res := testRes(id, 1_000_000)
+		if err := g.Install(res, packet.EERInfo{SrcHost: id}, tPath, tAuths); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var workers, mutator sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Mutator: reinstalls (renewals) and removes/reinstalls.
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		ver := uint16(2)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := uint32(1 + i%64)
+			res := testRes(id, 1_000_000)
+			res.Ver = ver
+			if err := g.Install(res, packet.EERInfo{SrcHost: id}, tPath, tAuths); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%97 == 0 {
+				g.Remove(id)
+				res.Ver++
+				if err := g.Install(res, packet.EERInfo{SrcHost: id}, tPath, tAuths); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if i%1000 == 999 {
+				ver++
+			}
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			worker := g.NewWorker()
+			buf := make([]byte, 1024)
+			var pkt packet.Packet
+			for i := 0; i < 5000; i++ {
+				id := uint32(1 + (w*5000+i)%64)
+				n, err := worker.Build(id, []byte("c"), buf, baseNs+int64(i))
+				if err != nil {
+					// Remove/Install races may briefly miss the entry or
+					// hit the shared rate budget; both are valid outcomes.
+					if errors.Is(err, ErrUnknownRes) || errors.Is(err, ErrRateExceeded) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				if _, err := pkt.DecodeFromBytes(buf[:n]); err != nil {
+					t.Errorf("worker %d built an undecodable packet: %v", w, err)
+					return
+				}
+				if pkt.Res.ResID != id {
+					t.Errorf("worker %d: packet for %d claims %d", w, id, pkt.Res.ResID)
+					return
+				}
+			}
+		}(w)
+	}
+	// Wait for the workers, then stop the mutator.
+	workers.Wait()
+	close(stop)
+	mutator.Wait()
+}

@@ -1,0 +1,209 @@
+// Package gateway implements the Colibri gateway (§3.2, §4.6): the per-AS
+// component through which all Colibri traffic of local end hosts passes. It
+// maps reservation IDs to the state obtained during EER setup (path,
+// reservation metadata, hop authenticators), performs deterministic
+// per-flow monitoring (token bucket), stamps the high-precision unique
+// timestamp, and computes the per-packet hop validation fields
+//
+//	V_i = MAC_{σ_i}(Ts ‖ PktSize)[0:4]    (Eq. 6)
+//
+// for every on-path AS before handing the packet to the border router.
+//
+// The gateway is stateful by design; the paper's Fig. 5 evaluates exactly
+// this state's cache behaviour under growing reservation counts.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"colibri/internal/cryptoutil"
+	"colibri/internal/monitor"
+	"colibri/internal/packet"
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+)
+
+// Entry is the per-EER state installed after setup or renewal. The hop
+// authenticators are stored as raw keys and expanded per packet, exactly as
+// the paper's DPDK gateway does with hardware AES key expansion — caching
+// expanded schedules would multiply the per-reservation memory footprint
+// whose cache behaviour Fig. 5 evaluates.
+type Entry struct {
+	Res  packet.ResInfo
+	EER  packet.EERInfo
+	Path []packet.HopField
+	// auths are the hop authenticators σ_i in path order.
+	auths []cryptoutil.Key
+	// MonitorKbps is the rate enforced by deterministic monitoring: the
+	// maximum over the EER's valid versions (§4.8).
+	MonitorKbps uint64
+}
+
+// Gateway errors.
+var (
+	ErrUnknownRes   = errors.New("gateway: unknown reservation")
+	ErrExpired      = errors.New("gateway: reservation expired")
+	ErrRateExceeded = errors.New("gateway: reservation bandwidth exceeded")
+	ErrBufTooSmall  = errors.New("gateway: output buffer too small")
+)
+
+// Gateway is one AS's Colibri gateway. Install/Remove and Worker.Build are
+// safe for concurrent use.
+type Gateway struct {
+	srcAS topology.IA
+	mu    sync.RWMutex
+	byID  map[uint32]*Entry
+	mon   *monitor.FlowMonitor
+	// lastTs backs the uniqueness of timestamps across all flows.
+	lastTs atomic.Uint64
+}
+
+// New builds a gateway for the AS.
+func New(srcAS topology.IA) *Gateway {
+	return &Gateway{
+		srcAS: srcAS,
+		byID:  make(map[uint32]*Entry),
+		mon:   monitor.NewFlowMonitor(),
+	}
+}
+
+// Install registers (or replaces, on renewal) the state of an EER. auths
+// are the decrypted hop authenticators σ_i in path order.
+func (g *Gateway) Install(res packet.ResInfo, eer packet.EERInfo, path []packet.HopField, auths []cryptoutil.Key) error {
+	if res.SrcAS != g.srcAS {
+		return fmt.Errorf("gateway: reservation of AS %s installed at %s", res.SrcAS, g.srcAS)
+	}
+	if len(path) != len(auths) {
+		return fmt.Errorf("gateway: %d hops but %d authenticators", len(path), len(auths))
+	}
+	e := &Entry{
+		Res:         res,
+		EER:         eer,
+		Path:        append([]packet.HopField(nil), path...),
+		auths:       append([]cryptoutil.Key(nil), auths...),
+		MonitorKbps: uint64(res.BwKbps),
+	}
+	g.mu.Lock()
+	if old, ok := g.byID[res.ResID]; ok && old.MonitorKbps > e.MonitorKbps {
+		// All versions share one monitored budget: the maximum (§4.8).
+		e.MonitorKbps = old.MonitorKbps
+	}
+	g.byID[res.ResID] = e
+	g.mu.Unlock()
+	// Pre-create the monitoring state so the per-packet path never
+	// allocates.
+	g.mon.Ensure(reservation.ID{SrcAS: g.srcAS, Num: res.ResID}, e.MonitorKbps, 0)
+	return nil
+}
+
+// Remove drops an EER's state (expiry).
+func (g *Gateway) Remove(resID uint32) {
+	g.mu.Lock()
+	delete(g.byID, resID)
+	g.mu.Unlock()
+	g.mon.Forget(reservation.ID{SrcAS: g.srcAS, Num: resID})
+}
+
+// Expire removes reservations whose current version has expired and returns
+// how many were dropped.
+func (g *Gateway) Expire(nowSec uint32) int {
+	g.mu.Lock()
+	var dropped []uint32
+	for id, e := range g.byID {
+		if nowSec >= e.Res.ExpT {
+			delete(g.byID, id)
+			dropped = append(dropped, id)
+		}
+	}
+	g.mu.Unlock()
+	for _, id := range dropped {
+		g.mon.Forget(reservation.ID{SrcAS: g.srcAS, Num: id})
+	}
+	return len(dropped)
+}
+
+// Len returns the number of installed reservations.
+func (g *Gateway) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.byID)
+}
+
+// nextTs returns a strictly increasing timestamp ≥ nowNs, unique across the
+// gateway ("Ts … uniquely identifies the packet for the particular source").
+func (g *Gateway) nextTs(nowNs int64) uint64 {
+	for {
+		last := g.lastTs.Load()
+		ts := uint64(nowNs)
+		if ts <= last {
+			ts = last + 1
+		}
+		if g.lastTs.CompareAndSwap(last, ts) {
+			return ts
+		}
+	}
+}
+
+// Worker holds per-goroutine scratch state for packet construction; create
+// one per worker goroutine with NewWorker.
+type Worker struct {
+	g      *Gateway
+	pkt    packet.Packet
+	hvfIn  [packet.HVFInputLen]byte
+	macOut [cryptoutil.MACSize]byte
+	ks     cryptoutil.AESSchedule
+}
+
+// NewWorker creates a packet-building worker.
+func (g *Gateway) NewWorker() *Worker { return &Worker{g: g} }
+
+// Build assembles a complete Colibri data packet for the reservation into
+// out: deterministic monitoring, timestamping, HVF computation for all
+// on-path ASes, serialization. It returns the packet length.
+func (w *Worker) Build(resID uint32, payload []byte, out []byte, nowNs int64) (int, error) {
+	g := w.g
+	g.mu.RLock()
+	e, ok := g.byID[resID]
+	g.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownRes, resID)
+	}
+	if uint32(nowNs/1e9) >= e.Res.ExpT {
+		return 0, fmt.Errorf("%w: %d", ErrExpired, resID)
+	}
+
+	pkt := &w.pkt
+	pkt.Type = packet.TData
+	pkt.CurrHop = 0
+	pkt.Res = e.Res
+	pkt.EER = e.EER
+	pkt.Path = e.Path
+	pkt.Payload = payload
+	n := pkt.Length()
+	if len(out) < n {
+		return 0, ErrBufTooSmall
+	}
+
+	// Deterministic monitoring over the total packet size, all versions
+	// sharing the reservation's budget (§4.8).
+	id := reservation.ID{SrcAS: g.srcAS, Num: resID}
+	if !g.mon.Allow(id, e.MonitorKbps, uint32(n), nowNs) {
+		return 0, fmt.Errorf("%w: %d", ErrRateExceeded, resID)
+	}
+
+	pkt.Ts = g.nextTs(nowNs)
+	packet.HVFInput(&w.hvfIn, pkt.Ts, uint32(n))
+	if cap(pkt.HVFs) < len(e.Path)*packet.HVFLen {
+		pkt.HVFs = make([]byte, len(e.Path)*packet.HVFLen)
+	} else {
+		pkt.HVFs = pkt.HVFs[:len(e.Path)*packet.HVFLen]
+	}
+	for i := range e.auths {
+		cryptoutil.SigmaMAC(&w.ks, &e.auths[i], &w.macOut, &w.hvfIn)
+		copy(pkt.HVFs[i*packet.HVFLen:(i+1)*packet.HVFLen], w.macOut[:packet.HVFLen])
+	}
+	return pkt.SerializeTo(out)
+}

@@ -1,0 +1,181 @@
+// Package monitor implements Colibri's deterministic monitoring and
+// policing (§4.8): per-flow token buckets for exact rate enforcement at the
+// source AS's gateway (and for flows escalated by the probabilistic
+// detector), and the blocklist of offending source ASes kept by border
+// routers.
+package monitor
+
+import (
+	"sync"
+
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+)
+
+// TokenBucket enforces a byte rate with a burst allowance. As in the paper,
+// it keeps only a timestamp and a counter per flow. It is not safe for
+// concurrent use; FlowMonitor provides the locked map around it.
+type TokenBucket struct {
+	// rate is the refill rate in bytes per nanosecond.
+	rate float64
+	// burst is the bucket capacity in bytes.
+	burst float64
+	// tokens is the current fill level in bytes.
+	tokens float64
+	// lastNs is the time of the last refill.
+	lastNs int64
+}
+
+// DefaultBurstSeconds sizes a flow's burst allowance relative to its rate:
+// the bucket holds this many seconds worth of traffic.
+const DefaultBurstSeconds = 0.1
+
+// NewTokenBucket builds a bucket enforcing rateKbps with the given burst (in
+// bytes). The bucket starts full.
+func NewTokenBucket(rateKbps uint64, burstBytes float64, nowNs int64) *TokenBucket {
+	rate := float64(rateKbps) * 1000 / 8 / 1e9 // kbps → bytes per ns
+	return &TokenBucket{rate: rate, burst: burstBytes, tokens: burstBytes, lastNs: nowNs}
+}
+
+// BurstBytesFor returns the default burst size for a rate.
+func BurstBytesFor(rateKbps uint64) float64 {
+	b := float64(rateKbps) * 1000 / 8 * DefaultBurstSeconds
+	if b < 1500 {
+		b = 1500 // always allow at least one full-size packet
+	}
+	return b
+}
+
+// Allow refills the bucket to time nowNs and consumes sizeBytes if
+// available, reporting whether the packet conforms. Non-conforming packets
+// consume nothing ("packets are simply dropped").
+func (tb *TokenBucket) Allow(nowNs int64, sizeBytes uint32) bool {
+	if nowNs > tb.lastNs {
+		tb.tokens += float64(nowNs-tb.lastNs) * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.lastNs = nowNs
+	}
+	need := float64(sizeBytes)
+	if tb.tokens < need {
+		return false
+	}
+	tb.tokens -= need
+	return true
+}
+
+// SetRate updates the enforced rate (e.g., after an EER renewal changed the
+// reservation bandwidth) and resizes the burst proportionally.
+func (tb *TokenBucket) SetRate(rateKbps uint64) {
+	tb.rate = float64(rateKbps) * 1000 / 8 / 1e9
+	tb.burst = BurstBytesFor(rateKbps)
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}
+
+// FlowMonitor performs deterministic per-reservation monitoring: one token
+// bucket per reservation ID, with all versions of an EER sharing the bucket.
+// It is safe for concurrent use.
+type FlowMonitor struct {
+	mu    sync.Mutex
+	flows map[reservation.ID]*TokenBucket
+}
+
+// NewFlowMonitor builds an empty monitor.
+func NewFlowMonitor() *FlowMonitor {
+	return &FlowMonitor{flows: make(map[reservation.ID]*TokenBucket)}
+}
+
+// Allow checks a packet of sizeBytes on the reservation against rateKbps,
+// creating the bucket on first sight and updating the rate when it changed.
+func (m *FlowMonitor) Allow(id reservation.ID, rateKbps uint64, sizeBytes uint32, nowNs int64) bool {
+	m.mu.Lock()
+	tb, ok := m.flows[id]
+	if !ok {
+		tb = NewTokenBucket(rateKbps, BurstBytesFor(rateKbps), nowNs)
+		m.flows[id] = tb
+	} else if wantRate := float64(rateKbps) * 1000 / 8 / 1e9; tb.rate != wantRate {
+		tb.SetRate(rateKbps)
+	}
+	ok = tb.Allow(nowNs, sizeBytes)
+	m.mu.Unlock()
+	return ok
+}
+
+// Ensure pre-creates a flow's bucket (at reservation install time), so the
+// per-packet path never allocates.
+func (m *FlowMonitor) Ensure(id reservation.ID, rateKbps uint64, nowNs int64) {
+	m.mu.Lock()
+	if tb, ok := m.flows[id]; ok {
+		tb.SetRate(rateKbps)
+	} else {
+		m.flows[id] = NewTokenBucket(rateKbps, BurstBytesFor(rateKbps), nowNs)
+	}
+	m.mu.Unlock()
+}
+
+// Forget drops the bucket of an expired reservation.
+func (m *FlowMonitor) Forget(id reservation.ID) {
+	m.mu.Lock()
+	delete(m.flows, id)
+	m.mu.Unlock()
+}
+
+// Len returns the number of tracked flows.
+func (m *FlowMonitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.flows)
+}
+
+// Blocklist is the set of source ASes whose reservations are blocked after
+// confirmed overuse (§4.8: "as this blocklist is very short … it can be
+// implemented as a simple hash set"). Entries can carry an expiry so that
+// punishment is finite. Safe for concurrent use.
+type Blocklist struct {
+	mu      sync.RWMutex
+	blocked map[topology.IA]uint32 // IA → expiry (0 = permanent)
+}
+
+// NewBlocklist builds an empty blocklist.
+func NewBlocklist() *Blocklist {
+	return &Blocklist{blocked: make(map[topology.IA]uint32)}
+}
+
+// Block adds a source AS until expiry (0 = permanent).
+func (b *Blocklist) Block(ia topology.IA, expiry uint32) {
+	b.mu.Lock()
+	b.blocked[ia] = expiry
+	b.mu.Unlock()
+}
+
+// Unblock removes a source AS.
+func (b *Blocklist) Unblock(ia topology.IA) {
+	b.mu.Lock()
+	delete(b.blocked, ia)
+	b.mu.Unlock()
+}
+
+// Blocked reports whether the AS is blocked at time now.
+func (b *Blocklist) Blocked(ia topology.IA, now uint32) bool {
+	b.mu.RLock()
+	exp, ok := b.blocked[ia]
+	b.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	if exp != 0 && now >= exp {
+		b.Unblock(ia)
+		return false
+	}
+	return true
+}
+
+// Len returns the number of blocked ASes.
+func (b *Blocklist) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.blocked)
+}

@@ -1,0 +1,174 @@
+package monitor
+
+import (
+	"testing"
+
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+)
+
+func rid(n uint32) reservation.ID {
+	return reservation.ID{SrcAS: topology.MustIA(1, 9), Num: n}
+}
+
+func TestTokenBucketConformingRate(t *testing.T) {
+	// 8 Mbps = 1 MB/s. Sending 1000-byte packets at exactly 1000 pps
+	// conforms indefinitely.
+	tb := NewTokenBucket(8_000, BurstBytesFor(8_000), 0)
+	var dropped int
+	for i := 1; i <= 10_000; i++ {
+		if !tb.Allow(int64(i)*1e6, 1000) { // one packet per ms
+			dropped++
+		}
+	}
+	if dropped != 0 {
+		t.Errorf("conforming flow dropped %d packets", dropped)
+	}
+}
+
+func TestTokenBucketOveruseDropped(t *testing.T) {
+	// Same 8 Mbps bucket, but 2× rate: about half must be dropped.
+	tb := NewTokenBucket(8_000, BurstBytesFor(8_000), 0)
+	var passed int
+	const n = 10_000
+	for i := 1; i <= n; i++ {
+		if tb.Allow(int64(i)*5e5, 1000) { // one packet per 0.5 ms
+			passed++
+		}
+	}
+	// Long-run pass rate ≈ 50% (plus one burst's worth).
+	if passed < n*45/100 || passed > n*55/100 {
+		t.Errorf("passed %d of %d at 2× rate, want ≈ half", passed, n)
+	}
+}
+
+func TestTokenBucketBurst(t *testing.T) {
+	tb := NewTokenBucket(8_000, 10_000, 0)
+	// A back-to-back burst within the allowance passes…
+	for i := 0; i < 10; i++ {
+		if !tb.Allow(1, 1000) {
+			t.Fatalf("burst packet %d dropped", i)
+		}
+	}
+	// …the next packet exceeds it.
+	if tb.Allow(1, 1000) {
+		t.Error("packet beyond burst allowed")
+	}
+	// After enough refill time, packets pass again (2 ms → 2000 bytes).
+	if !tb.Allow(2e6, 1000) {
+		t.Error("packet after refill dropped")
+	}
+}
+
+func TestTokenBucketLongRunRateQuick(t *testing.T) {
+	// Property: over a long run, passed bytes never exceed
+	// rate×time + burst.
+	for _, rateKbps := range []uint64{1000, 8000, 100_000} {
+		burst := BurstBytesFor(rateKbps)
+		tb := NewTokenBucket(rateKbps, burst, 0)
+		var passedBytes float64
+		const durNs = int64(2e9)
+		step := int64(1e5) // dense 0.1 ms probes of 500-byte packets
+		for now := step; now <= durNs; now += step {
+			if tb.Allow(now, 500) {
+				passedBytes += 500
+			}
+		}
+		limit := float64(rateKbps)*1000/8*float64(durNs)/1e9 + burst + 500
+		if passedBytes > limit {
+			t.Errorf("rate %d: passed %.0f bytes > limit %.0f", rateKbps, passedBytes, limit)
+		}
+	}
+}
+
+func TestSetRateTakesEffect(t *testing.T) {
+	tb := NewTokenBucket(8_000, BurstBytesFor(8_000), 0)
+	tb.SetRate(16_000)
+	var passed int
+	for i := 1; i <= 1000; i++ {
+		if tb.Allow(int64(i)*5e5, 1000) { // 2 MB/s offered
+			passed++
+		}
+	}
+	if passed < 950 {
+		t.Errorf("after doubling the rate, only %d/1000 passed", passed)
+	}
+}
+
+func TestFlowMonitorIsolatesFlows(t *testing.T) {
+	m := NewFlowMonitor()
+	// Flow 1 floods; flow 2 conforms. Flow 2 must be unaffected.
+	var f2dropped int
+	for i := 1; i <= 1000; i++ {
+		now := int64(i) * 1e6
+		m.Allow(rid(1), 8_000, 1500, now) // 12 Mbps offered on 8 Mbps
+		m.Allow(rid(1), 8_000, 1500, now)
+		if !m.Allow(rid(2), 8_000, 1000, now) { // exactly 8 Mbps
+			f2dropped++
+		}
+	}
+	if f2dropped != 0 {
+		t.Errorf("conforming flow lost %d packets to a noisy neighbor", f2dropped)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	m.Forget(rid(1))
+	if m.Len() != 1 {
+		t.Errorf("Len after Forget = %d", m.Len())
+	}
+}
+
+func TestFlowMonitorRateUpdate(t *testing.T) {
+	m := NewFlowMonitor()
+	now := int64(1e9)
+	m.Allow(rid(1), 8_000, 1000, now)
+	// Renewal doubled the reservation: the monitor must honor it.
+	var passed int
+	for i := 1; i <= 1000; i++ {
+		if m.Allow(rid(1), 16_000, 1000, now+int64(i)*5e5) {
+			passed++
+		}
+	}
+	if passed < 950 {
+		t.Errorf("passed %d/1000 after rate increase", passed)
+	}
+}
+
+func TestBlocklist(t *testing.T) {
+	b := NewBlocklist()
+	attacker := topology.MustIA(1, 66)
+	if b.Blocked(attacker, 100) {
+		t.Error("empty blocklist blocks")
+	}
+	b.Block(attacker, 0)
+	if !b.Blocked(attacker, 100) {
+		t.Error("permanent block not effective")
+	}
+	b.Unblock(attacker)
+	if b.Blocked(attacker, 100) {
+		t.Error("unblock not effective")
+	}
+	b.Block(attacker, 200)
+	if !b.Blocked(attacker, 199) {
+		t.Error("timed block not effective before expiry")
+	}
+	if b.Blocked(attacker, 200) {
+		t.Error("timed block effective after expiry")
+	}
+	if b.Len() != 0 {
+		t.Errorf("expired entry not removed, Len = %d", b.Len())
+	}
+}
+
+func BenchmarkFlowMonitorAllow(b *testing.B) {
+	m := NewFlowMonitor()
+	for i := uint32(0); i < 1024; i++ {
+		m.Allow(rid(i), 8000, 1000, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Allow(rid(uint32(i)%1024), 8000, 1000, int64(i)*1000)
+	}
+}

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+
+	"colibri/internal/qos"
+)
+
+func TestPortPropagationLatency(t *testing.T) {
+	s := NewSim()
+	var deliveredAt int64 = -1
+	sink := NodeFunc(func(*Packet, int) { deliveredAt = s.Now() })
+	// 8 Mbps link with 5 ms propagation: a 1000-byte packet takes
+	// 1 ms serialization + 5 ms propagation.
+	port := NewPort(s, "out", 8_000, 5e6, qos.StrictPriority, sink, 0)
+	port.Send(&Packet{WireSize: 1000, Class: qos.ClassBE})
+	s.Run(0)
+	if deliveredAt < 5_900_000 || deliveredAt > 6_100_000 {
+		t.Errorf("delivered at %d ns, want ≈6 ms", deliveredAt)
+	}
+}
+
+func TestPortSentCounters(t *testing.T) {
+	s := NewSim()
+	sink := NewCounter()
+	port := NewPort(s, "out", 1_000_000, 0, qos.StrictPriority, sink, 0)
+	port.Send(&Packet{WireSize: 500, Class: qos.ClassEER})
+	port.Send(&Packet{WireSize: 300, Class: qos.ClassControl})
+	s.Run(0)
+	if port.Sent[qos.ClassEER] != 500 || port.Sent[qos.ClassControl] != 300 {
+		t.Errorf("Sent = %v", port.Sent)
+	}
+	if port.String() != "port(out)" {
+		t.Errorf("String = %q", port.String())
+	}
+	if d := port.Drops(); d[qos.ClassEER] != 0 {
+		t.Errorf("Drops = %v", d)
+	}
+}
+
+func TestZeroRateSourceGeneratesNothing(t *testing.T) {
+	s := NewSim()
+	count := 0
+	(&Source{
+		Sim: s, Dst: NodeFunc(func(*Packet, int) { count++ }),
+		RateKbps: 0, PktBytes: 100, StopNs: 1e9,
+		Make: func() *Packet { return &Packet{WireSize: 100} },
+	}).Start(0)
+	s.Run(0)
+	if count != 0 {
+		t.Errorf("zero-rate source generated %d packets", count)
+	}
+}

@@ -1,0 +1,250 @@
+// Package netsim is a discrete-event network simulator: virtual time, nodes
+// exchanging packets over links with finite capacity and propagation delay,
+// and per-output-port traffic-class scheduling (package qos).
+//
+// It stands in for the paper's hardware testbed (Spirent traffic generator,
+// 40 Gbps links) in the data-plane protection experiment (Table 2) and the
+// examples: the quantity those measure is which traffic *class* obtains the
+// output link under contention, which the simulated schedulers reproduce
+// exactly. Packets carry real header bytes (so the full cryptographic
+// data-plane runs) plus a virtual wire size, so multi-Gbps loads simulate in
+// milliseconds of CPU time.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"colibri/internal/qos"
+)
+
+// Sim is the event loop. Not safe for concurrent use; nodes run inside
+// event callbacks.
+type Sim struct {
+	now int64
+	pq  eventQueue
+	seq uint64
+}
+
+// NewSim creates a simulator at time 0.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in nanoseconds.
+func (s *Sim) Now() int64 { return s.now }
+
+// At schedules fn at absolute time t (≥ now).
+func (s *Sim) At(t int64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a delay.
+func (s *Sim) After(d int64, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes events until the queue empties or virtual time exceeds
+// until (0 = run to completion). It returns the final time.
+func (s *Sim) Run(until int64) int64 {
+	for len(s.pq) > 0 {
+		ev := s.pq[0]
+		if until > 0 && ev.at > until {
+			s.now = until
+			return s.now
+		}
+		heap.Pop(&s.pq)
+		s.now = ev.at
+		ev.fn()
+	}
+	return s.now
+}
+
+type event struct {
+	at  int64
+	seq uint64 // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Packet is one simulated packet: Header carries the real Colibri bytes (so
+// routers run the actual cryptographic hot path); WireSize is the modelled
+// on-wire size in bytes (headers + possibly virtual payload).
+type Packet struct {
+	Header   []byte
+	WireSize int
+	Class    qos.Class
+	// Meta carries scenario-specific annotations (e.g., flow labels for
+	// accounting at sinks).
+	Meta any
+}
+
+// Node consumes packets delivered by ports.
+type Node interface {
+	// Receive is called inside the event loop when a packet arrives at the
+	// node via the given input port index.
+	Receive(pkt *Packet, inPort int)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(pkt *Packet, inPort int)
+
+// Receive implements Node.
+func (f NodeFunc) Receive(pkt *Packet, inPort int) { f(pkt, inPort) }
+
+// Port is one output port: a class scheduler draining onto a link of fixed
+// capacity and latency towards a destination node.
+type Port struct {
+	sim          *Sim
+	name         string
+	capBitsPerNs float64 // link capacity in bits per nanosecond
+	latencyNs    int64
+	sched        *qos.Scheduler[*Packet]
+	busy         bool
+	dst          Node
+	dstPort      int
+
+	// Sent counts delivered bytes per class (at the sending side).
+	Sent [qos.NumClasses]uint64
+}
+
+// NewPort creates an output port on sim with the given link capacity (kbps),
+// propagation latency, scheduling policy, and destination.
+func NewPort(sim *Sim, name string, capacityKbps uint64, latencyNs int64, policy qos.Policy, dst Node, dstPort int) *Port {
+	return &Port{
+		sim:          sim,
+		name:         name,
+		capBitsPerNs: float64(capacityKbps) * 1000 / 1e9,
+		latencyNs:    latencyNs,
+		sched:        NewScheduler(policy),
+		dst:          dst,
+		dstPort:      dstPort,
+	}
+}
+
+// NewScheduler builds the packet scheduler used by ports (exported for
+// tests that exercise scheduling in isolation).
+func NewScheduler(policy qos.Policy) *qos.Scheduler[*Packet] {
+	return qos.NewScheduler[*Packet](policy, 0)
+}
+
+// Drops returns the per-class tail-drop counters.
+func (p *Port) Drops() [qos.NumClasses]uint64 { return p.sched.Drops }
+
+// Send enqueues a packet for transmission; drops follow the scheduler's
+// per-class limits.
+func (p *Port) Send(pkt *Packet) {
+	if !p.sched.Enqueue(pkt, pkt.Class, pkt.WireSize) {
+		return
+	}
+	if !p.busy {
+		p.busy = true
+		p.transmitNext()
+	}
+}
+
+// transmitNext serializes the next scheduled packet onto the link.
+func (p *Port) transmitNext() {
+	pkt, class, size, ok := p.sched.Dequeue()
+	if !ok {
+		p.busy = false
+		return
+	}
+	serNs := int64(float64(size*8) / p.capBitsPerNs)
+	if serNs < 1 {
+		serNs = 1
+	}
+	p.Sent[class] += uint64(size)
+	dst, dstPort, lat := p.dst, p.dstPort, p.latencyNs
+	p.sim.After(serNs, func() {
+		p.sim.After(lat, func() { dst.Receive(pkt, dstPort) })
+		p.transmitNext()
+	})
+}
+
+func (p *Port) String() string { return fmt.Sprintf("port(%s)", p.name) }
+
+// Source generates packets at a fixed rate into a destination node (it
+// models a traffic generator attached to a link of its own). make creates
+// each packet; the source stops at stopNs.
+type Source struct {
+	Sim     *Sim
+	Dst     Node
+	DstPort int
+	// RateKbps and PktBytes define the generation rate.
+	RateKbps uint64
+	PktBytes int
+	StopNs   int64
+	Make     func() *Packet
+}
+
+// Start begins generation at startNs. A zero rate generates nothing.
+func (src *Source) Start(startNs int64) {
+	if src.RateKbps == 0 {
+		return
+	}
+	interval := int64(float64(src.PktBytes*8) / (float64(src.RateKbps) * 1000) * 1e9)
+	if interval < 1 {
+		interval = 1
+	}
+	var tick func()
+	next := startNs
+	tick = func() {
+		if src.Sim.Now() >= src.StopNs {
+			return
+		}
+		pkt := src.Make()
+		src.Dst.Receive(pkt, src.DstPort)
+		next += interval
+		src.Sim.At(next, tick)
+	}
+	src.Sim.At(startNs, tick)
+}
+
+// Counter is a sink node counting received bytes per class and per meta
+// label.
+type Counter struct {
+	Bytes   [qos.NumClasses]uint64
+	ByLabel map[string]uint64
+}
+
+// NewCounter builds an empty counter sink.
+func NewCounter() *Counter { return &Counter{ByLabel: make(map[string]uint64)} }
+
+// Receive implements Node.
+func (c *Counter) Receive(pkt *Packet, _ int) {
+	c.Bytes[pkt.Class] += uint64(pkt.WireSize)
+	if label, ok := pkt.Meta.(string); ok {
+		c.ByLabel[label] += uint64(pkt.WireSize)
+	}
+}
+
+// Reset clears the counters (e.g., between measurement phases).
+func (c *Counter) Reset() {
+	c.Bytes = [qos.NumClasses]uint64{}
+	c.ByLabel = make(map[string]uint64)
+}
+
+// GbpsOver converts a byte count accumulated over a duration to Gbps.
+func GbpsOver(bytes uint64, durNs int64) float64 {
+	return float64(bytes) * 8 / float64(durNs)
+}

@@ -1,0 +1,69 @@
+package packet
+
+import (
+	"encoding/binary"
+)
+
+// MAC input layouts for the three authenticators of §4.5. All inputs have a
+// fixed layout, which is what makes plain CBC-MAC safe here (see
+// cryptoutil.CBCMAC).
+
+// SegAuthLen is the byte length of the SegR token input (Eq. 3):
+// ResInfo (22 used bytes) ‖ In (2) ‖ Eg (2), zero-padded to 2 AES blocks.
+const SegAuthLen = 32
+
+// EERAuthLen is the byte length of the EER hop-authenticator input (Eq. 4):
+// ResInfo ‖ EERInfo ‖ (In, Eg), zero-padded to 3 AES blocks.
+const EERAuthLen = 48
+
+// HVFInputLen is the byte length of the data-plane HVF input (Eq. 6):
+// Ts (8) ‖ PktSize (4), zero-padded to 1 AES block.
+const HVFInputLen = 16
+
+// SegAuthInput packs the Eq. (3) MAC input for the hop with interfaces
+// (in, eg) into buf:
+//
+//	V_i^(S) = MAC_{K_i}(ResInfo ‖ (In_i, Eg_i)) [0:ℓ_hvf]
+func SegAuthInput(buf *[SegAuthLen]byte, res *ResInfo, hf HopField) {
+	packResInfo(buf[:], res)
+	binary.BigEndian.PutUint16(buf[22:24], uint16(hf.In))
+	binary.BigEndian.PutUint16(buf[24:26], uint16(hf.Eg))
+	for i := 26; i < SegAuthLen; i++ {
+		buf[i] = 0
+	}
+}
+
+// EERAuthInput packs the Eq. (4) MAC input:
+//
+//	σ_i = MAC_{K_i}(ResInfo ‖ EERInfo ‖ (In_i, Eg_i))
+func EERAuthInput(buf *[EERAuthLen]byte, res *ResInfo, eer *EERInfo, hf HopField) {
+	packResInfo(buf[:], res)
+	binary.BigEndian.PutUint32(buf[22:26], eer.SrcHost)
+	binary.BigEndian.PutUint32(buf[26:30], eer.DstHost)
+	binary.BigEndian.PutUint16(buf[30:32], uint16(hf.In))
+	binary.BigEndian.PutUint16(buf[32:34], uint16(hf.Eg))
+	for i := 34; i < EERAuthLen; i++ {
+		buf[i] = 0
+	}
+}
+
+// HVFInput packs the Eq. (6) MAC input:
+//
+//	V_i^(E) = MAC_{σ_i}(Ts ‖ PktSize) [0:ℓ_hvf]
+//
+// PktSize is the total serialized packet size including the Colibri header,
+// so that header-only flooding still consumes reservation budget (§4.8).
+func HVFInput(buf *[HVFInputLen]byte, ts uint64, pktSize uint32) {
+	binary.BigEndian.PutUint64(buf[0:8], ts)
+	binary.BigEndian.PutUint32(buf[8:12], pktSize)
+	buf[12], buf[13], buf[14], buf[15] = 0, 0, 0, 0
+}
+
+// packResInfo writes the 22 meaningful ResInfo bytes at the start of buf.
+func packResInfo(buf []byte, res *ResInfo) {
+	binary.BigEndian.PutUint64(buf[0:8], uint64(res.SrcAS))
+	binary.BigEndian.PutUint32(buf[8:12], res.ResID)
+	binary.BigEndian.PutUint32(buf[12:16], res.BwKbps)
+	binary.BigEndian.PutUint32(buf[16:20], res.ExpT)
+	binary.BigEndian.PutUint16(buf[20:22], res.Ver)
+}

@@ -1,0 +1,45 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFromBytes: arbitrary input must never panic, and whatever
+// decodes successfully must re-serialize to an equivalent packet
+// (decode–encode–decode fixpoint).
+func FuzzDecodeFromBytes(f *testing.F) {
+	p := samplePacket()
+	buf, _ := p.Serialize()
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add(bytes.Repeat([]byte{0xFF}, 100))
+	truncated := append([]byte(nil), buf[:len(buf)-3]...)
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Packet
+		n, err := q.DecodeFromBytes(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		out := make([]byte, q.Length())
+		m, err := q.SerializeTo(out)
+		if err != nil {
+			t.Fatalf("re-serialize of decoded packet failed: %v", err)
+		}
+		var q2 Packet
+		if _, err := q2.DecodeFromBytes(out[:m]); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q2.Res != q.Res || q2.EER != q.EER || q2.Ts != q.Ts ||
+			q2.Type != q.Type || q2.CurrHop != q.CurrHop ||
+			!bytes.Equal(q2.HVFs, q.HVFs) || !bytes.Equal(q2.Payload, q.Payload) {
+			t.Fatal("decode–encode–decode not a fixpoint")
+		}
+	})
+}

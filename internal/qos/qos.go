@@ -1,0 +1,167 @@
+// Package qos implements the traffic-class isolation of Appendix B: three
+// classes — best-effort, Colibri control, and Colibri EER data — separated
+// on shared links by priority queueing or class-based weighted fair queueing
+// (deficit round robin).
+//
+// Strict priority for Colibri classes is safe without starving best-effort
+// because the CServ's admission guarantees that active reservations never
+// exceed the Colibri share of the link (§4.7, App. B footnote); unused
+// Colibri bandwidth is scavenged by best-effort traffic automatically
+// (work-conserving schedulers).
+package qos
+
+import "fmt"
+
+// Class is a traffic class.
+type Class uint8
+
+const (
+	// ClassBE is best-effort traffic (lowest priority).
+	ClassBE Class = iota
+	// ClassControl is Colibri control traffic on SegRs.
+	ClassControl
+	// ClassEER is Colibri EER data traffic (highest priority).
+	ClassEER
+	// NumClasses is the number of traffic classes.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassBE:
+		return "best-effort"
+	case ClassControl:
+		return "colibri-control"
+	case ClassEER:
+		return "colibri-eer"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Policy selects the scheduling discipline.
+type Policy uint8
+
+const (
+	// StrictPriority serves EER, then control, then best-effort.
+	StrictPriority Policy = iota
+	// DRR is deficit-round-robin CBWFQ with the §3.4 weights
+	// (best-effort 20, control 5, EER 75).
+	DRR
+)
+
+// item is one queued packet with its accounting size.
+type item[T any] struct {
+	v    T
+	size int
+}
+
+// Scheduler is a per-output-port packet scheduler with one FIFO per class.
+// It is not safe for concurrent use; the simulator serializes access.
+type Scheduler[T any] struct {
+	policy Policy
+	queues [NumClasses][]item[T]
+	bytes  [NumClasses]int
+	limit  [NumClasses]int // per-class queue limit in bytes
+
+	// DRR state.
+	deficit [NumClasses]int
+	quantum [NumClasses]int
+	rrNext  Class
+
+	// Drops counts tail drops per class.
+	Drops [NumClasses]uint64
+}
+
+// DefaultQueueLimitBytes is the per-class queue depth (≈ 4 ms at 40 Gbps).
+const DefaultQueueLimitBytes = 20_000_000
+
+// NewScheduler builds a scheduler with the given policy. limitBytes = 0
+// selects DefaultQueueLimitBytes.
+func NewScheduler[T any](policy Policy, limitBytes int) *Scheduler[T] {
+	if limitBytes == 0 {
+		limitBytes = DefaultQueueLimitBytes
+	}
+	s := &Scheduler[T]{policy: policy}
+	for c := range s.limit {
+		s.limit[c] = limitBytes
+	}
+	// DRR quanta proportional to the §3.4 split, scaled to ≥ MTU so one
+	// round can always send a packet.
+	s.quantum[ClassBE] = 20 * 1500
+	s.quantum[ClassControl] = 5 * 1500
+	s.quantum[ClassEER] = 75 * 1500
+	return s
+}
+
+// Enqueue adds a packet of the given size, tail-dropping when the class
+// queue is full. It reports whether the packet was queued.
+func (s *Scheduler[T]) Enqueue(v T, class Class, size int) bool {
+	if s.bytes[class]+size > s.limit[class] {
+		s.Drops[class]++
+		return false
+	}
+	s.queues[class] = append(s.queues[class], item[T]{v: v, size: size})
+	s.bytes[class] += size
+	return true
+}
+
+// Dequeue returns the next packet to transmit, its class and size, or
+// ok=false when all queues are empty. Both policies are work-conserving.
+func (s *Scheduler[T]) Dequeue() (v T, class Class, size int, ok bool) {
+	switch s.policy {
+	case StrictPriority:
+		for _, c := range [...]Class{ClassEER, ClassControl, ClassBE} {
+			if len(s.queues[c]) > 0 {
+				return s.pop(c)
+			}
+		}
+	case DRR:
+		if s.Empty() {
+			break
+		}
+		for {
+			c := s.rrNext
+			if len(s.queues[c]) > 0 {
+				head := s.queues[c][0]
+				if s.deficit[c] >= head.size {
+					s.deficit[c] -= head.size
+					return s.pop(c)
+				}
+				s.deficit[c] += s.quantum[c]
+				// Bound credit accumulation for idle-then-busy classes.
+				if s.deficit[c] > 4*s.quantum[c]+head.size {
+					s.deficit[c] = 4*s.quantum[c] + head.size
+				}
+			} else {
+				s.deficit[c] = 0
+			}
+			s.rrNext = (c + 1) % NumClasses
+		}
+	}
+	var zero T
+	return zero, 0, 0, false
+}
+
+func (s *Scheduler[T]) pop(c Class) (T, Class, int, bool) {
+	head := s.queues[c][0]
+	s.queues[c] = s.queues[c][1:]
+	if len(s.queues[c]) == 0 {
+		s.queues[c] = nil // release the drained backing array
+	}
+	s.bytes[c] -= head.size
+	return head.v, c, head.size, true
+}
+
+// Empty reports whether all queues are empty.
+func (s *Scheduler[T]) Empty() bool {
+	for c := Class(0); c < NumClasses; c++ {
+		if len(s.queues[c]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// QueuedBytes returns the bytes queued in one class.
+func (s *Scheduler[T]) QueuedBytes(c Class) int { return s.bytes[c] }

@@ -1,0 +1,100 @@
+package qos
+
+import (
+	"testing"
+)
+
+func TestStrictPriorityOrder(t *testing.T) {
+	s := NewScheduler[int](StrictPriority, 0)
+	s.Enqueue(1, ClassBE, 100)
+	s.Enqueue(2, ClassControl, 100)
+	s.Enqueue(3, ClassEER, 100)
+	s.Enqueue(4, ClassEER, 100)
+	want := []struct {
+		v int
+		c Class
+	}{{3, ClassEER}, {4, ClassEER}, {2, ClassControl}, {1, ClassBE}}
+	for i, w := range want {
+		v, c, size, ok := s.Dequeue()
+		if !ok || v != w.v || c != w.c || size != 100 {
+			t.Fatalf("dequeue %d: got (%d,%v,%d,%v), want (%d,%v)", i, v, c, size, ok, w.v, w.c)
+		}
+	}
+	if _, _, _, ok := s.Dequeue(); ok {
+		t.Error("dequeue from empty scheduler succeeded")
+	}
+	if !s.Empty() {
+		t.Error("Empty() = false on drained scheduler")
+	}
+}
+
+func TestTailDropAtLimit(t *testing.T) {
+	s := NewScheduler[int](StrictPriority, 1000)
+	if !s.Enqueue(1, ClassBE, 600) {
+		t.Fatal("first enqueue dropped")
+	}
+	if s.Enqueue(2, ClassBE, 600) {
+		t.Fatal("over-limit enqueue accepted")
+	}
+	if s.Drops[ClassBE] != 1 {
+		t.Errorf("Drops = %d", s.Drops[ClassBE])
+	}
+	// Other classes have their own budgets.
+	if !s.Enqueue(3, ClassEER, 600) {
+		t.Error("EER enqueue dropped by BE backlog")
+	}
+	if s.QueuedBytes(ClassBE) != 600 || s.QueuedBytes(ClassEER) != 600 {
+		t.Error("QueuedBytes wrong")
+	}
+}
+
+func TestDRRApproximatesWeights(t *testing.T) {
+	s := NewScheduler[int](DRR, 1<<30)
+	// Saturate all classes with equal-size packets.
+	const pkt = 1500
+	for i := 0; i < 4000; i++ {
+		s.Enqueue(i, ClassBE, pkt)
+		s.Enqueue(i, ClassControl, pkt)
+		s.Enqueue(i, ClassEER, pkt)
+	}
+	var got [NumClasses]int
+	const rounds = 2000
+	for i := 0; i < rounds; i++ {
+		_, c, _, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("unexpected empty")
+		}
+		got[c]++
+	}
+	// Shares should approximate 20/5/75.
+	checkShare := func(c Class, wantPct int) {
+		gotPct := got[c] * 100 / rounds
+		if gotPct < wantPct-5 || gotPct > wantPct+5 {
+			t.Errorf("%v share = %d%%, want ≈%d%%", c, gotPct, wantPct)
+		}
+	}
+	checkShare(ClassBE, 20)
+	checkShare(ClassControl, 5)
+	checkShare(ClassEER, 75)
+}
+
+func TestDRRWorkConserving(t *testing.T) {
+	s := NewScheduler[int](DRR, 0)
+	// Only best-effort traffic present: it must get everything.
+	for i := 0; i < 100; i++ {
+		s.Enqueue(i, ClassBE, 1500)
+	}
+	for i := 0; i < 100; i++ {
+		v, c, _, ok := s.Dequeue()
+		if !ok || c != ClassBE || v != i {
+			t.Fatalf("dequeue %d: (%d,%v,%v)", i, v, c, ok)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassBE.String() != "best-effort" || ClassEER.String() != "colibri-eer" ||
+		ClassControl.String() != "colibri-control" {
+		t.Error("class names wrong")
+	}
+}

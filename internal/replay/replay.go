@@ -1,0 +1,162 @@
+// Package replay implements in-network duplicate suppression (§2.3, §5.1;
+// Lee et al., "The Case for In-Network Replay Suppression"): an on-path
+// adversary replaying captured, correctly authenticated packets must not be
+// able to consume a reservation's bandwidth or frame its owner.
+//
+// The suppressor keeps two Bloom filters covering adjacent time windows and
+// rotates them, so that every packet identifier seen within the freshness
+// window is remembered with bounded memory and no per-flow state. Bloom
+// false positives drop a small fraction of legitimate packets (tunable);
+// false negatives do not occur within the window, so replays are always
+// caught.
+package replay
+
+import (
+	"math"
+	"sync"
+)
+
+// Config parameterizes the suppressor.
+type Config struct {
+	// WindowNs is the freshness window; packets older than two windows are
+	// rejected by the freshness check before reaching the filter. Default
+	// 200 ms (covering the ±0.1 s inter-AS clock skew the paper assumes).
+	WindowNs int64
+	// ExpectedPackets is the number of packets expected per window; sizes
+	// the filter (default 1<<20).
+	ExpectedPackets int
+	// FalsePositiveRate is the target Bloom FP rate (default 1e-4).
+	FalsePositiveRate float64
+}
+
+func (c *Config) setDefaults() {
+	if c.WindowNs == 0 {
+		c.WindowNs = 200 * 1e6
+	}
+	if c.ExpectedPackets == 0 {
+		c.ExpectedPackets = 1 << 20
+	}
+	if c.FalsePositiveRate == 0 {
+		c.FalsePositiveRate = 1e-4
+	}
+}
+
+// Suppressor detects duplicate packet identifiers within the freshness
+// window. Safe for concurrent use.
+type Suppressor struct {
+	mu       sync.Mutex
+	cfg      Config
+	cur      *bloom
+	prev     *bloom
+	curStart int64
+}
+
+// New builds a suppressor.
+func New(cfg Config) *Suppressor {
+	cfg.setDefaults()
+	m, k := bloomParams(cfg.ExpectedPackets, cfg.FalsePositiveRate)
+	return &Suppressor{
+		cfg:  cfg,
+		cur:  newBloom(m, k),
+		prev: newBloom(m, k),
+	}
+}
+
+// FreshAndUnique checks a packet identified by (the hash of) its unique
+// per-source timestamp tuple. It returns false if the identifier was already
+// seen within the last two windows (a replay or Bloom false positive), and
+// records it otherwise. nowNs drives window rotation.
+func (s *Suppressor) FreshAndUnique(id uint64, nowNs int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nowNs-s.curStart >= s.cfg.WindowNs {
+		if nowNs-s.curStart >= 2*s.cfg.WindowNs {
+			// Long silence: both windows are stale.
+			s.prev.reset()
+		} else {
+			// The old current window becomes the previous one.
+			s.cur, s.prev = s.prev, s.cur
+		}
+		s.cur.reset()
+		s.curStart = nowNs
+	}
+	if s.cur.test(id) || s.prev.test(id) {
+		return false
+	}
+	s.cur.add(id)
+	return true
+}
+
+// bloom is a simple double-hashing Bloom filter over uint64 identifiers.
+type bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int
+}
+
+func bloomParams(n int, fp float64) (m uint64, k int) {
+	// Standard sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	mf := -float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)
+	m = uint64(mf)
+	if m < 64 {
+		m = 64
+	}
+	k = int(math.Round(mf / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return m, k
+}
+
+func newBloom(m uint64, k int) *bloom {
+	return &bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+func (b *bloom) reset() {
+	clear(b.bits)
+}
+
+// mix derives the two base hashes for double hashing.
+func mix(id uint64) (uint64, uint64) {
+	h1 := id
+	h1 ^= h1 >> 33
+	h1 *= 0xFF51AFD7ED558CCD
+	h1 ^= h1 >> 33
+	h2 := id*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	h2 ^= h2 >> 29
+	h2 *= 0xBF58476D1CE4E5B9
+	h2 ^= h2 >> 32
+	return h1, h2 | 1
+}
+
+func (b *bloom) add(id uint64) {
+	h1, h2 := mix(id)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+func (b *bloom) test(id uint64) bool {
+	h1, h2 := mix(id)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PacketID builds the suppression identifier from the fields that uniquely
+// identify a Colibri packet for a particular source: (SrcAS, ResID, Ts).
+func PacketID(srcAS uint64, resID uint32, ts uint64) uint64 {
+	x := srcAS ^ uint64(resID)<<17 ^ ts*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return x
+}

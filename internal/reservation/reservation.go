@@ -1,0 +1,157 @@
+// Package reservation models Colibri reservations and the per-AS
+// reservation store: segment reservations (SegRs) with a single active and
+// at most one pending version (§4.2), and end-to-end reservations (EERs)
+// with multiple concurrently valid versions, all mapped to one reservation
+// ID for monitoring.
+//
+// The store keeps each AS's local view: on-path ASes store their interface
+// pair and granted bandwidth; the initiator AS additionally stores the full
+// segment and the returned tokens/hop authenticators.
+package reservation
+
+import (
+	"fmt"
+	"sort"
+
+	"colibri/internal/cryptoutil"
+	"colibri/internal/packet"
+	"colibri/internal/segment"
+	"colibri/internal/topology"
+)
+
+// ID identifies a reservation globally: the CServ of the source AS assigns
+// locally unique numbers, so (SrcAS, Num) is globally unique (§4.3).
+type ID struct {
+	SrcAS topology.IA
+	Num   uint32
+}
+
+func (id ID) String() string { return fmt.Sprintf("%s#%d", id.SrcAS, id.Num) }
+
+// IsZero reports whether the ID is unset.
+func (id ID) IsZero() bool { return id.SrcAS.IsZero() && id.Num == 0 }
+
+// Lifetimes from §3.3: SegRs live ~5 minutes, EERs 16 seconds.
+const (
+	SegRLifetimeSeconds = 300
+	EERLifetimeSeconds  = 16
+	// MaxEERVersions bounds concurrently valid versions of one EER.
+	MaxEERVersions = 4
+)
+
+// Version is one (version, bandwidth, expiry) incarnation of a reservation.
+type Version struct {
+	Ver    uint16
+	BwKbps uint64
+	ExpT   uint32
+}
+
+// Expired reports whether the version is expired at time now.
+func (v Version) Expired(now uint32) bool { return now >= v.ExpT }
+
+// SegR is one AS's record of a segment reservation.
+type SegR struct {
+	ID      ID
+	SegType segment.Type
+	// In, Eg are this AS's interfaces for the reservation (0 at ends).
+	In, Eg topology.IfID
+	// MinKbps is the smallest bandwidth the initiator accepts; renewals may
+	// renegotiate within [MinKbps, requested].
+	MinKbps uint64
+	// Active is the currently usable version.
+	Active Version
+	// Pending is a renewed version awaiting explicit activation, if any.
+	Pending *Version
+
+	// AllocatedEERKbps is the total EER bandwidth admitted over this SegR at
+	// this AS (the Σ checked by transit-AS admission, §4.7).
+	AllocatedEERKbps uint64
+
+	// Initiator-only state:
+	// Seg is the full segment (nil at transit ASes).
+	Seg *segment.Segment
+	// Tokens are the per-hop SegR tokens of Eq. (3), initiator-only.
+	Tokens [][packet.HVFLen]byte
+}
+
+// AvailableEERKbps returns how much EER bandwidth is still free under the
+// active version.
+func (s *SegR) AvailableEERKbps() uint64 {
+	if s.Active.BwKbps <= s.AllocatedEERKbps {
+		return 0
+	}
+	return s.Active.BwKbps - s.AllocatedEERKbps
+}
+
+// EER is one AS's record of an end-to-end reservation.
+type EER struct {
+	ID ID
+	// SegIDs are the underlying segment reservations, in path order (1–3).
+	SegIDs []ID
+	// In, Eg are this AS's interfaces on the EER path.
+	In, Eg  topology.IfID
+	SrcHost uint32
+	DstHost uint32
+	// Versions are the concurrently valid versions, ascending by Ver.
+	Versions []Version
+
+	// Initiator-only state:
+	// Path is the full end-to-end path (source AS / gateway only).
+	Path []packet.HopField
+	// HopAuths are the per-hop authenticators σ_i of Eq. (4), source-AS only.
+	HopAuths []cryptoutil.Key
+}
+
+// MaxBwKbps returns the largest bandwidth among non-expired versions; this
+// is the rate the monitors enforce ("a sender using multiple versions of the
+// same EER can obtain at most the maximum bandwidth of all valid versions",
+// §4.8).
+func (e *EER) MaxBwKbps(now uint32) uint64 {
+	var m uint64
+	for _, v := range e.Versions {
+		if !v.Expired(now) && v.BwKbps > m {
+			m = v.BwKbps
+		}
+	}
+	return m
+}
+
+// LatestVersion returns the non-expired version with the highest Ver, or nil
+// ("the gateway generally uses a single version (the latest one)").
+func (e *EER) LatestVersion(now uint32) *Version {
+	for i := len(e.Versions) - 1; i >= 0; i-- {
+		if !e.Versions[i].Expired(now) {
+			return &e.Versions[i]
+		}
+	}
+	return nil
+}
+
+// AddVersion inserts a new version keeping ascending order and the
+// MaxEERVersions bound (oldest evicted first). Duplicate version numbers are
+// rejected.
+func (e *EER) AddVersion(v Version) error {
+	for _, old := range e.Versions {
+		if old.Ver == v.Ver {
+			return fmt.Errorf("reservation: EER %s already has version %d", e.ID, v.Ver)
+		}
+	}
+	e.Versions = append(e.Versions, v)
+	sort.Slice(e.Versions, func(i, j int) bool { return e.Versions[i].Ver < e.Versions[j].Ver })
+	if len(e.Versions) > MaxEERVersions {
+		e.Versions = e.Versions[len(e.Versions)-MaxEERVersions:]
+	}
+	return nil
+}
+
+// DropExpired removes expired versions and reports whether any remain.
+func (e *EER) DropExpired(now uint32) bool {
+	kept := e.Versions[:0]
+	for _, v := range e.Versions {
+		if !v.Expired(now) {
+			kept = append(kept, v)
+		}
+	}
+	e.Versions = kept
+	return len(kept) > 0
+}

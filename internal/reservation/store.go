@@ -1,0 +1,276 @@
+package reservation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"colibri/internal/topology"
+)
+
+// Store is one AS's reservation database. It is safe for concurrent use and
+// maintains the EER-over-SegR bandwidth accounting that transit-AS admission
+// checks (§4.7). In the paper this is "a transactional database" inside the
+// CServ; here the setup flow's reserve-then-confirm/rollback discipline is
+// provided by the SegR lifecycle methods.
+type Store struct {
+	mu     sync.RWMutex
+	local  topology.IA
+	segs   map[ID]*SegR
+	eers   map[ID]*EER
+	nextID uint32
+
+	// contrib tracks, per EER, the bandwidth currently charged against its
+	// underlying SegRs, so version changes adjust by delta.
+	contrib map[ID]uint64
+}
+
+// Store errors.
+var (
+	ErrNotFound       = errors.New("reservation: not found")
+	ErrExists         = errors.New("reservation: already exists")
+	ErrNoPending      = errors.New("reservation: no pending version")
+	ErrOverAllocation = errors.New("reservation: activation would over-allocate EER bandwidth")
+	ErrInsufficient   = errors.New("reservation: insufficient bandwidth in segment reservation")
+)
+
+// NewStore builds an empty store for the given AS.
+func NewStore(local topology.IA) *Store {
+	return &Store{
+		local:   local,
+		segs:    make(map[ID]*SegR),
+		eers:    make(map[ID]*EER),
+		contrib: make(map[ID]uint64),
+	}
+}
+
+// Local returns the owning AS.
+func (s *Store) Local() topology.IA { return s.local }
+
+// NextID allocates the next reservation number for locally initiated
+// reservations; the resulting (SrcAS, Num) pair is globally unique.
+func (s *Store) NextID() ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return ID{SrcAS: s.local, Num: s.nextID}
+}
+
+// AddSegR inserts a new segment reservation record.
+func (s *Store) AddSegR(r *SegR) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.segs[r.ID]; ok {
+		return fmt.Errorf("%w: SegR %s", ErrExists, r.ID)
+	}
+	s.segs[r.ID] = r
+	return nil
+}
+
+// GetSegR returns the segment reservation, or ErrNotFound.
+func (s *Store) GetSegR(id ID) (*SegR, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.segs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: SegR %s", ErrNotFound, id)
+	}
+	return r, nil
+}
+
+// DeleteSegR removes a segment reservation (failure cleanup on the setup
+// path, or expiry).
+func (s *Store) DeleteSegR(id ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.segs, id)
+}
+
+// ConfirmSegR finalizes the granted bandwidth of the active version after
+// the backward pass of a setup ("each AS locally stores the final amount of
+// bandwidth granted", §3.3).
+func (s *Store) ConfirmSegR(id ID, finalKbps uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.segs[id]
+	if !ok {
+		return fmt.Errorf("%w: SegR %s", ErrNotFound, id)
+	}
+	r.Active.BwKbps = finalKbps
+	return nil
+}
+
+// SetPending records a renewed version awaiting activation (§4.2: "only a
+// single version of a SegR can exist at any time and a pending version …
+// must be activated explicitly").
+func (s *Store) SetPending(id ID, v Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.segs[id]
+	if !ok {
+		return fmt.Errorf("%w: SegR %s", ErrNotFound, id)
+	}
+	r.Pending = &v
+	return nil
+}
+
+// ActivatePending switches the SegR to its pending version. It fails with
+// ErrOverAllocation if already-admitted EER bandwidth would exceed the new
+// version ("ensure that no over-allocation with EERs can occur").
+func (s *Store) ActivatePending(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.segs[id]
+	if !ok {
+		return fmt.Errorf("%w: SegR %s", ErrNotFound, id)
+	}
+	if r.Pending == nil {
+		return fmt.Errorf("%w: SegR %s", ErrNoPending, id)
+	}
+	if r.Pending.BwKbps < r.AllocatedEERKbps {
+		return fmt.Errorf("%w: SegR %s pending %d kbps < allocated %d kbps",
+			ErrOverAllocation, id, r.Pending.BwKbps, r.AllocatedEERKbps)
+	}
+	r.Active = *r.Pending
+	r.Pending = nil
+	return nil
+}
+
+// AdmitEERVersion checks available bandwidth on the given local SegRs and,
+// if sufficient, records the version and charges the bandwidth delta against
+// each SegR. This is the transit-AS admission of §4.7 plus the accounting
+// that all versions of one EER share a single budget (the max over valid
+// versions). eer describes the record to create on first sight of the ID.
+func (s *Store) AdmitEERVersion(eer *EER, segIDs []ID, v Version, now uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	existing, ok := s.eers[eer.ID]
+	if !ok {
+		existing = eer
+		existing.Versions = nil
+	}
+	oldContrib := s.contrib[eer.ID]
+	// The new contribution if this version is admitted.
+	newMax := oldContrib
+	if v.BwKbps > newMax {
+		newMax = v.BwKbps
+	}
+	delta := newMax - oldContrib
+	if delta > 0 {
+		segs := make([]*SegR, 0, len(segIDs))
+		for _, sid := range segIDs {
+			sr, ok := s.segs[sid]
+			if !ok {
+				return fmt.Errorf("%w: SegR %s", ErrNotFound, sid)
+			}
+			if sr.Active.Expired(now) {
+				return fmt.Errorf("%w: SegR %s expired", ErrNotFound, sid)
+			}
+			if sr.AvailableEERKbps() < delta {
+				return fmt.Errorf("%w: SegR %s has %d kbps free, need %d",
+					ErrInsufficient, sid, sr.AvailableEERKbps(), delta)
+			}
+			segs = append(segs, sr)
+		}
+		for _, sr := range segs {
+			sr.AllocatedEERKbps += delta
+		}
+	}
+	if err := existing.AddVersion(v); err != nil {
+		// Undo the charge on duplicate version numbers.
+		if delta > 0 {
+			for _, sid := range segIDs {
+				if sr, ok := s.segs[sid]; ok {
+					sr.AllocatedEERKbps -= delta
+				}
+			}
+		}
+		return err
+	}
+	if !ok {
+		existing.SegIDs = append([]ID(nil), segIDs...)
+		s.eers[eer.ID] = existing
+	}
+	s.contrib[eer.ID] = newMax
+	return nil
+}
+
+// GetEER returns the EER record, or ErrNotFound.
+func (s *Store) GetEER(id ID) (*EER, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.eers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: EER %s", ErrNotFound, id)
+	}
+	return e, nil
+}
+
+// Cleanup removes expired reservations: EER versions past their expiry
+// (releasing SegR bandwidth), EERs with no versions left, and SegRs whose
+// active and pending versions are both expired. It returns the IDs of
+// removed SegRs so the caller can release admission-state aggregates.
+func (s *Store) Cleanup(now uint32) (removedSegRs []ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, e := range s.eers {
+		alive := e.DropExpired(now)
+		newMax := e.MaxBwKbps(now)
+		old := s.contrib[id]
+		if newMax < old {
+			delta := old - newMax
+			for _, sid := range e.SegIDs {
+				if sr, ok := s.segs[sid]; ok {
+					if sr.AllocatedEERKbps >= delta {
+						sr.AllocatedEERKbps -= delta
+					} else {
+						sr.AllocatedEERKbps = 0
+					}
+				}
+			}
+			s.contrib[id] = newMax
+		}
+		if !alive {
+			delete(s.eers, id)
+			delete(s.contrib, id)
+		}
+	}
+	for id, r := range s.segs {
+		activeDead := r.Active.Expired(now)
+		pendingDead := r.Pending == nil || r.Pending.Expired(now)
+		if activeDead && !pendingDead {
+			// An expired active with a live pending: switch over (the
+			// initiator failed to activate in time; keep service alive).
+			r.Active = *r.Pending
+			r.Pending = nil
+			continue
+		}
+		if activeDead && pendingDead {
+			delete(s.segs, id)
+			removedSegRs = append(removedSegRs, id)
+		}
+	}
+	return removedSegRs
+}
+
+// InitiatedSegRs returns the SegRs initiated by this AS (those carrying the
+// full segment), for the renewal automation of §3.2.
+func (s *Store) InitiatedSegRs() []*SegR {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*SegR
+	for _, r := range s.segs {
+		if r.Seg != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of stored SegRs and EERs.
+func (s *Store) Counts() (segRs, eers int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segs), len(s.eers)
+}

@@ -1,0 +1,315 @@
+// Package router implements the Colibri border router (§4.6): stateless
+// validation and forwarding of Colibri packets at line rate. For every EER
+// data packet it re-derives the hop authenticator from the AS secret
+// (Eq. 4), computes the expected hop validation field (Eq. 6), and compares
+// it with the packet — no per-flow or per-reservation state is consulted.
+// SegR control packets are validated against the Eq. (3) token instead.
+//
+// The router composes the protection stack of §4.8/§5: expiry and freshness
+// checks, the source-AS blocklist, duplicate suppression, the probabilistic
+// overuse-flow detector with escalation to deterministic monitoring, and
+// finally the forwarding decision.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"colibri/internal/cryptoutil"
+	"colibri/internal/monitor"
+	"colibri/internal/ofd"
+	"colibri/internal/packet"
+	"colibri/internal/replay"
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+)
+
+// Action is the router's forwarding decision.
+type Action uint8
+
+const (
+	// AForward sends the packet out of the egress interface in the verdict.
+	AForward Action = iota
+	// ADeliver hands the packet to the destination host (last hop).
+	ADeliver
+	// AControl hands the packet to the local CServ (control traffic over a
+	// reservation).
+	AControl
+	// ADrop discards the packet; the error explains why.
+	ADrop
+)
+
+// Verdict is the processing result for one packet.
+type Verdict struct {
+	Action  Action
+	Egress  topology.IfID
+	DstHost uint32
+}
+
+// Drop reasons.
+var (
+	ErrBadHVF     = errors.New("router: hop validation field mismatch")
+	ErrExpired    = errors.New("router: reservation expired")
+	ErrStale      = errors.New("router: packet timestamp outside freshness window")
+	ErrBlocked    = errors.New("router: source AS is blocklisted")
+	ErrReplay     = errors.New("router: duplicate packet suppressed")
+	ErrOveruse    = errors.New("router: reservation overuse confirmed")
+	ErrBadHop     = errors.New("router: packet's current hop does not belong here")
+	ErrBestEffort = errors.New("router: not a reservation-validated packet")
+)
+
+// DefaultFreshnessNs tolerates the paper's ±0.1 s clock skew plus queueing.
+const DefaultFreshnessNs = 500 * 1e6
+
+// Config assembles a Router.
+type Config struct {
+	IA topology.IA
+	// Secret is the AS data-plane secret K_i (shared with the CServ).
+	Secret cryptoutil.Key
+	// FreshnessNs bounds |now − Ts| (default DefaultFreshnessNs).
+	FreshnessNs int64
+	// Replay enables duplicate suppression when non-nil.
+	Replay *replay.Suppressor
+	// OFD enables probabilistic overuse detection when non-nil.
+	OFD *ofd.Detector
+	// Blocklist holds offending source ASes (created if nil).
+	Blocklist *monitor.Blocklist
+	// OnOveruse is called when overuse is confirmed for a reservation
+	// (reporting to the CServ, §4.8); may be nil.
+	OnOveruse func(id reservation.ID)
+	// PoliceOnly makes confirmed overuse drop the offending packets
+	// (clamping the flow to its reservation) without blocklisting the
+	// source AS — the stance of the paper's Table 2 phase 3, where flagged
+	// reservations are policed by the token bucket. Default false:
+	// confirmed overuse blocks the source AS.
+	PoliceOnly bool
+}
+
+// Router is one AS's border-router state shared across workers.
+type Router struct {
+	ia          topology.IA
+	secret      cryptoutil.Key
+	freshnessNs int64
+	replay      *replay.Suppressor
+	det         *ofd.Detector
+	blocklist   *monitor.Blocklist
+	onOveruse   func(id reservation.ID)
+	policeOnly  bool
+
+	// watch holds flows escalated to deterministic monitoring (§4.8:
+	// "suspicious EERs are subjected to deterministic monitoring").
+	watchMu sync.RWMutex
+	watch   map[reservation.ID]struct{}
+	detMon  *monitor.FlowMonitor
+
+	// Stats counts processing outcomes (atomic access via mutex-free
+	// increments is avoided; Stats are maintained per worker and merged on
+	// demand would complicate the API — a mutex on drops only is cheap
+	// relative to drop handling).
+	statsMu sync.Mutex
+	drops   map[string]uint64
+}
+
+// New builds a Router.
+func New(cfg Config) *Router {
+	if cfg.FreshnessNs == 0 {
+		cfg.FreshnessNs = DefaultFreshnessNs
+	}
+	if cfg.Blocklist == nil {
+		cfg.Blocklist = monitor.NewBlocklist()
+	}
+	return &Router{
+		ia:          cfg.IA,
+		secret:      cfg.Secret,
+		freshnessNs: cfg.FreshnessNs,
+		replay:      cfg.Replay,
+		det:         cfg.OFD,
+		blocklist:   cfg.Blocklist,
+		onOveruse:   cfg.OnOveruse,
+		policeOnly:  cfg.PoliceOnly,
+		watch:       make(map[reservation.ID]struct{}),
+		detMon:      monitor.NewFlowMonitor(),
+		drops:       make(map[string]uint64),
+	}
+}
+
+// Blocklist returns the router's blocklist (shared with policy decisions).
+func (r *Router) Blocklist() *monitor.Blocklist { return r.blocklist }
+
+// Watch places a reservation under deterministic monitoring, as happens
+// when the probabilistic detector flags it (or when an operator seeds the
+// watchlist, as in the paper's Table 2 phase 3).
+func (r *Router) Watch(id reservation.ID) {
+	r.watchMu.Lock()
+	r.watch[id] = struct{}{}
+	r.watchMu.Unlock()
+}
+
+// Unwatch removes a reservation from deterministic monitoring (a cleared
+// false positive).
+func (r *Router) Unwatch(id reservation.ID) {
+	r.watchMu.Lock()
+	delete(r.watch, id)
+	r.watchMu.Unlock()
+	r.detMon.Forget(id)
+}
+
+// Drops returns a copy of the drop counters by reason.
+func (r *Router) Drops() map[string]uint64 {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	out := make(map[string]uint64, len(r.drops))
+	for k, v := range r.drops {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *Router) countDrop(err error) {
+	r.statsMu.Lock()
+	r.drops[rootMsg(err)]++
+	r.statsMu.Unlock()
+}
+
+func rootMsg(err error) string {
+	for {
+		u := errors.Unwrap(err)
+		if u == nil {
+			return err.Error()
+		}
+		err = u
+	}
+}
+
+// Worker holds per-goroutine scratch state; create one per goroutine.
+type Worker struct {
+	r      *Router
+	pkt    packet.Packet
+	cbc    *cryptoutil.CBCMAC
+	segIn  [packet.SegAuthLen]byte
+	eerIn  [packet.EERAuthLen]byte
+	hvfIn  [packet.HVFInputLen]byte
+	sigma  cryptoutil.Key
+	macOut [cryptoutil.MACSize]byte
+	ks     cryptoutil.AESSchedule
+}
+
+// NewWorker creates a processing worker.
+func (r *Router) NewWorker() *Worker {
+	return &Worker{r: r, cbc: cryptoutil.MustCBCMAC(r.secret)}
+}
+
+// Process validates the serialized Colibri packet in buf at time nowNs and
+// returns the forwarding verdict. buf is modified in place only to advance
+// the current hop on AForward. Dropped packets return Action ADrop and a
+// wrapped reason error.
+func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
+	r := w.r
+	pkt := &w.pkt
+	if _, err := pkt.DecodeFromBytes(buf); err != nil {
+		r.countDrop(err)
+		return Verdict{Action: ADrop}, err
+	}
+	idx := int(pkt.CurrHop)
+	hop := pkt.Path[idx]
+
+	// Expiry and freshness (§4.6: "checks whether the reservation has not
+	// expired yet" and "packet freshness").
+	if uint32(nowNs/1e9) >= pkt.Res.ExpT {
+		r.countDrop(ErrExpired)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: at %d", ErrExpired, pkt.Res.ExpT)
+	}
+	delta := nowNs - int64(pkt.Ts)
+	if delta < -r.freshnessNs || delta > r.freshnessNs {
+		r.countDrop(ErrStale)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: delta %d ns", ErrStale, delta)
+	}
+	// Blocklist (§4.8: "keeping a list of blocked source ASes").
+	if r.blocklist.Blocked(pkt.Res.SrcAS, uint32(nowNs/1e9)) {
+		r.countDrop(ErrBlocked)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrBlocked, pkt.Res.SrcAS)
+	}
+
+	// Cryptographic validation.
+	switch pkt.Type {
+	case packet.TData, packet.TEERenewReq:
+		// Two-step EER validation (Eqs. 4 and 6). The σ-keyed MAC uses the
+		// allocation-free software AES: σ changes per packet, and heap
+		// churn from per-packet key schedules would let the GC dominate.
+		packet.EERAuthInput(&w.eerIn, &pkt.Res, &pkt.EER, hop)
+		w.cbc.SumInto((*[cryptoutil.MACSize]byte)(&w.sigma), w.eerIn[:])
+		packet.HVFInput(&w.hvfIn, pkt.Ts, uint32(len(buf)))
+		cryptoutil.SigmaMAC(&w.ks, &w.sigma, &w.macOut, &w.hvfIn)
+		if !cryptoutil.ConstantTimeEqual(w.macOut[:packet.HVFLen], pkt.HVF(idx)) {
+			r.countDrop(ErrBadHVF)
+			return Verdict{Action: ADrop}, ErrBadHVF
+		}
+	case packet.TSegRenewReq, packet.TEESetupReq, packet.TResponse:
+		// SegR token validation (Eq. 3).
+		packet.SegAuthInput(&w.segIn, &pkt.Res, hop)
+		w.cbc.SumInto(&w.macOut, w.segIn[:])
+		if !cryptoutil.ConstantTimeEqual(w.macOut[:packet.HVFLen], pkt.HVF(idx)) {
+			r.countDrop(ErrBadHVF)
+			return Verdict{Action: ADrop}, ErrBadHVF
+		}
+	case packet.TSegSetupReq:
+		// Initial SegR setup requests arrive as best-effort traffic and are
+		// authenticated at the CServ (§5.3); the router only forwards them.
+	default:
+		r.countDrop(ErrBestEffort)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: type %v", ErrBestEffort, pkt.Type)
+	}
+
+	id := reservation.ID{SrcAS: pkt.Res.SrcAS, Num: pkt.Res.ResID}
+
+	// Duplicate suppression (§5.1: "all copies of the same packet are
+	// discarded").
+	if r.replay != nil && pkt.Type == packet.TData {
+		if !r.replay.FreshAndUnique(replay.PacketID(uint64(pkt.Res.SrcAS), pkt.Res.ResID, pkt.Ts), nowNs) {
+			r.countDrop(ErrReplay)
+			return Verdict{Action: ADrop}, ErrReplay
+		}
+	}
+
+	// Probabilistic monitoring with deterministic escalation (§4.8). The
+	// watchlist may also have been seeded via Watch.
+	if pkt.Type == packet.TData {
+		if r.det != nil {
+			norm := ofd.NormalizedSize(uint32(len(buf)), uint64(pkt.Res.BwKbps))
+			if r.det.Record(id, norm, nowNs) {
+				r.watchMu.Lock()
+				r.watch[id] = struct{}{}
+				r.watchMu.Unlock()
+			}
+		}
+		r.watchMu.RLock()
+		watched := len(r.watch) > 0
+		if watched {
+			_, watched = r.watch[id]
+		}
+		r.watchMu.RUnlock()
+		if watched && !r.detMon.Allow(id, uint64(pkt.Res.BwKbps), uint32(len(buf)), nowNs) {
+			// Overuse established with certainty: police, and unless
+			// configured police-only, block and report the source AS.
+			if !r.policeOnly {
+				r.blocklist.Block(pkt.Res.SrcAS, uint32(nowNs/1e9)+reservation.SegRLifetimeSeconds)
+				if r.onOveruse != nil {
+					r.onOveruse(id)
+				}
+			}
+			r.countDrop(ErrOveruse)
+			return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrOveruse, id)
+		}
+	}
+
+	// Forwarding decision.
+	if pkt.Type.IsControl() && pkt.Type != packet.TData {
+		return Verdict{Action: AControl, Egress: hop.Eg}, nil
+	}
+	if idx == len(pkt.Path)-1 {
+		return Verdict{Action: ADeliver, DstHost: pkt.EER.DstHost}, nil
+	}
+	packet.SetCurrHopInPlace(buf, pkt.CurrHop+1)
+	return Verdict{Action: AForward, Egress: hop.Eg}, nil
+}

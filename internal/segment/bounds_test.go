@@ -1,0 +1,63 @@
+package segment
+
+import (
+	"testing"
+
+	"colibri/internal/topology"
+)
+
+func TestDiscoverOptsBoundSegments(t *testing.T) {
+	// A deep chain with MaxLen 3 must not discover segments longer than 3
+	// ASes.
+	topo := topology.Line(8, 1, topology.LinkSpec{})
+	reg := Discover(topo, DiscoverOpts{MaxLen: 3})
+	for leaf := topology.ASID(2); leaf <= 8; leaf++ {
+		for _, seg := range reg.UpSegments(ia(1, leaf)) {
+			if seg.Len() > 3 {
+				t.Errorf("segment %s exceeds MaxLen", seg)
+			}
+		}
+	}
+	// The far leaf is unreachable within 3 hops: no up-segments.
+	if segs := reg.UpSegments(ia(1, 8)); len(segs) != 0 {
+		t.Errorf("leaf 8 has %d segments despite MaxLen 3", len(segs))
+	}
+}
+
+func TestMaxPerPairKeepsShortest(t *testing.T) {
+	// Star of parallel providers: many equal-length ups; MaxPerPair caps
+	// how many are kept per (origin, AS) pair.
+	topo := topology.New()
+	core := topology.MustIA(1, 1)
+	leaf := topology.MustIA(1, 99)
+	topo.AddAS(core, true)
+	topo.AddAS(leaf, false)
+	for i := 1; i <= 6; i++ {
+		mid := topology.MustIA(1, topology.ASID(i+1))
+		topo.AddAS(mid, false)
+		topo.MustConnect(core, topology.IfID(i), mid, 1, topology.LinkParent, topology.LinkSpec{})
+		topo.MustConnect(mid, 2, leaf, topology.IfID(i), topology.LinkParent, topology.LinkSpec{})
+	}
+	reg := Discover(topo, DiscoverOpts{MaxPerPair: 2})
+	if got := len(reg.UpSegments(leaf)); got != 2 {
+		t.Errorf("kept %d up-segments, want 2", got)
+	}
+}
+
+func TestMinCapacityMixedLinks(t *testing.T) {
+	topo := topology.New()
+	a, b, c := ia(1, 1), ia(1, 2), ia(1, 3)
+	topo.AddAS(a, true)
+	topo.AddAS(b, false)
+	topo.AddAS(c, false)
+	topo.MustConnect(a, 1, b, 1, topology.LinkParent, topology.LinkSpec{CapacityKbps: 10_000})
+	topo.MustConnect(b, 2, c, 1, topology.LinkParent, topology.LinkSpec{CapacityKbps: 4_000})
+	reg := Discover(topo, DiscoverOpts{})
+	paths, err := reg.Paths(a, c, 0)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("paths: %v, %d", err, len(paths))
+	}
+	if got := paths[0].MinCapacityKbps(topo); got != 4_000 {
+		t.Errorf("MinCapacityKbps = %d, want 4000 (the bottleneck)", got)
+	}
+}

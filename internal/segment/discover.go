@@ -1,0 +1,306 @@
+package segment
+
+import (
+	"fmt"
+
+	"colibri/internal/topology"
+)
+
+// Registry holds the discovered segments of a topology, analogous to the
+// path servers of the underlying architecture. It is immutable after
+// Discover and safe for concurrent reads.
+type Registry struct {
+	topo *topology.Topology
+	// ups maps a non-core AS to its up-segments (AS → core, traversal order
+	// AS-first).
+	ups map[topology.IA][]*Segment
+	// downs maps a non-core AS to its down-segments (core → AS).
+	downs map[topology.IA][]*Segment
+	// cores maps an ordered core pair (src,dst) to core-segments.
+	cores map[[2]topology.IA][]*Segment
+}
+
+// DiscoverOpts bounds the discovery effort.
+type DiscoverOpts struct {
+	// MaxPerPair caps the segments kept per (origin, AS) pair (default 3).
+	MaxPerPair int
+	// MaxLen caps the number of ASes on one segment (default 8).
+	MaxLen int
+}
+
+func (o *DiscoverOpts) setDefaults() {
+	if o.MaxPerPair == 0 {
+		o.MaxPerPair = 3
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = 8
+	}
+}
+
+// Discover runs the beaconing fixpoint over the topology and returns the
+// segment registry. Core ASes originate beacons; intra-ISD beacons propagate
+// over provider→customer links (yielding down-segments, reversed into
+// up-segments); core beacons propagate over core links.
+func Discover(topo *topology.Topology, opts DiscoverOpts) *Registry {
+	opts.setDefaults()
+	r := &Registry{
+		topo:  topo,
+		ups:   make(map[topology.IA][]*Segment),
+		downs: make(map[topology.IA][]*Segment),
+		cores: make(map[[2]topology.IA][]*Segment),
+	}
+	r.discoverIntraISD(opts)
+	r.discoverCore(opts)
+	return r
+}
+
+// beacon is an in-flight path-construction beacon: hops in origin→current
+// order; the last hop's Eg is filled in when the beacon is extended.
+type beacon struct {
+	hops []Hop
+}
+
+func (b *beacon) current() topology.IA { return b.hops[len(b.hops)-1].IA }
+
+func (b *beacon) visits(ia topology.IA) bool {
+	for _, h := range b.hops {
+		if h.IA == ia {
+			return true
+		}
+	}
+	return false
+}
+
+// extend returns a copy of the beacon extended over the given interface of
+// the current AS.
+func (b *beacon) extend(intf *topology.Interface) *beacon {
+	hops := make([]Hop, len(b.hops), len(b.hops)+1)
+	copy(hops, b.hops)
+	hops[len(hops)-1].Eg = intf.ID
+	hops = append(hops, Hop{IA: intf.Neighbor, In: intf.NeighborIf})
+	return &beacon{hops: hops}
+}
+
+func (b *beacon) segment(typ Type) *Segment {
+	hops := make([]Hop, len(b.hops))
+	copy(hops, b.hops)
+	return &Segment{Type: typ, Hops: hops}
+}
+
+// keptSet tracks, per (origin, AS), the accepted beacons, bounded by k.
+type keptSet struct {
+	k    int
+	segs map[[2]topology.IA][]*Segment
+	seen map[string]bool
+}
+
+func newKeptSet(k int) *keptSet {
+	return &keptSet{k: k, segs: make(map[[2]topology.IA][]*Segment), seen: make(map[string]bool)}
+}
+
+// offer inserts the candidate if the (origin,at) bucket has room or the
+// candidate is shorter than the current worst; returns whether it was kept.
+func (ks *keptSet) offer(origin, at topology.IA, cand *Segment) bool {
+	fp := cand.Fingerprint()
+	if ks.seen[fp] {
+		return false
+	}
+	key := [2]topology.IA{origin, at}
+	bucket := ks.segs[key]
+	if len(bucket) >= ks.k {
+		worst := bucket[len(bucket)-1]
+		if len(cand.Hops) >= len(worst.Hops) {
+			return false
+		}
+		delete(ks.seen, worst.Fingerprint())
+		bucket = bucket[:len(bucket)-1]
+	}
+	ks.seen[fp] = true
+	bucket = append(bucket, cand)
+	sortSegments(bucket)
+	ks.segs[key] = bucket
+	return true
+}
+
+// discoverIntraISD propagates beacons from each ISD's core ASes down
+// provider-customer links, within the ISD only.
+func (r *Registry) discoverIntraISD(opts DiscoverOpts) {
+	kept := newKeptSet(opts.MaxPerPair)
+	var queue []*beacon
+	for _, core := range r.topo.CoreASes() {
+		queue = append(queue, &beacon{hops: []Hop{{IA: core.IA}}})
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		cur := r.topo.AS(b.current())
+		if len(b.hops) >= opts.MaxLen {
+			continue
+		}
+		for _, ifID := range cur.SortedIfIDs() {
+			intf := cur.Interfaces[ifID]
+			if intf.Type != topology.LinkParent {
+				continue // only provider→customer propagation
+			}
+			if intf.Neighbor.ISD() != b.hops[0].IA.ISD() {
+				continue // intra-ISD only
+			}
+			if b.visits(intf.Neighbor) {
+				continue
+			}
+			nb := b.extend(intf)
+			seg := nb.segment(Down)
+			if kept.offer(seg.SrcIA(), seg.DstIA(), seg) {
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for key, segs := range kept.segs {
+		dst := key[1]
+		r.downs[dst] = append(r.downs[dst], segs...)
+		for _, s := range segs {
+			r.ups[dst] = append(r.ups[dst], s.Reversed(Up))
+		}
+	}
+	for ia := range r.downs {
+		sortSegments(r.downs[ia])
+		sortSegments(r.ups[ia])
+	}
+}
+
+// discoverCore propagates beacons between core ASes over core links,
+// including across ISDs.
+func (r *Registry) discoverCore(opts DiscoverOpts) {
+	kept := newKeptSet(opts.MaxPerPair)
+	var queue []*beacon
+	for _, core := range r.topo.CoreASes() {
+		queue = append(queue, &beacon{hops: []Hop{{IA: core.IA}}})
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		cur := r.topo.AS(b.current())
+		if len(b.hops) >= opts.MaxLen {
+			continue
+		}
+		for _, ifID := range cur.SortedIfIDs() {
+			intf := cur.Interfaces[ifID]
+			if intf.Type != topology.LinkCore {
+				continue
+			}
+			if b.visits(intf.Neighbor) {
+				continue
+			}
+			nb := b.extend(intf)
+			seg := nb.segment(Core)
+			if kept.offer(seg.SrcIA(), seg.DstIA(), seg) {
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for key, segs := range kept.segs {
+		r.cores[key] = segs
+		sortSegments(r.cores[key])
+	}
+}
+
+// UpSegments returns the up-segments originating at the given non-core AS.
+func (r *Registry) UpSegments(src topology.IA) []*Segment { return r.ups[src] }
+
+// DownSegments returns the down-segments terminating at the given AS.
+func (r *Registry) DownSegments(dst topology.IA) []*Segment { return r.downs[dst] }
+
+// CoreSegments returns core-segments from src to dst (both core ASes).
+func (r *Registry) CoreSegments(src, dst topology.IA) []*Segment {
+	return r.cores[[2]topology.IA{src, dst}]
+}
+
+// Paths enumerates end-to-end paths from src to dst by combining discovered
+// segments, shortest first, up to limit (0 = no limit). It covers the cases:
+// same AS (no path needed → error), core-to-core, leaf-to-core, core-to-leaf,
+// and leaf-to-leaf with up to three segments, including the up+down shortcut
+// when both ASes share an ISD core.
+func (r *Registry) Paths(src, dst topology.IA, limit int) ([]*Path, error) {
+	if src == dst {
+		return nil, fmt.Errorf("segment: src and dst are the same AS %s", src)
+	}
+	srcAS, dstAS := r.topo.AS(src), r.topo.AS(dst)
+	if srcAS == nil || dstAS == nil {
+		return nil, fmt.Errorf("segment: unknown AS %s or %s", src, dst)
+	}
+	var paths []*Path
+	add := func(segs ...*Segment) {
+		if p, err := Join(segs...); err == nil {
+			paths = append(paths, p)
+		}
+	}
+	switch {
+	case srcAS.Core && dstAS.Core:
+		for _, c := range r.CoreSegments(src, dst) {
+			add(c)
+		}
+	case srcAS.Core && !dstAS.Core:
+		for _, d := range r.downs[dst] {
+			if d.SrcIA() == src {
+				add(d)
+				continue
+			}
+			for _, c := range r.CoreSegments(src, d.SrcIA()) {
+				add(c, d)
+			}
+		}
+	case !srcAS.Core && dstAS.Core:
+		for _, u := range r.ups[src] {
+			if u.DstIA() == dst {
+				add(u)
+				continue
+			}
+			for _, c := range r.CoreSegments(u.DstIA(), dst) {
+				add(u, c)
+			}
+		}
+	default: // leaf to leaf
+		for _, u := range r.ups[src] {
+			for _, d := range r.downs[dst] {
+				if u.DstIA() == d.SrcIA() {
+					add(u, d) // shortcut at the shared core
+					continue
+				}
+				for _, c := range r.CoreSegments(u.DstIA(), d.SrcIA()) {
+					add(u, c, d)
+				}
+			}
+		}
+	}
+	sortPaths(paths)
+	if limit > 0 && len(paths) > limit {
+		paths = paths[:limit]
+	}
+	return paths, nil
+}
+
+func sortPaths(paths []*Path) {
+	fingerprint := func(p *Path) string {
+		var b []byte
+		for _, h := range p.Hops {
+			b = fmt.Appendf(b, "%x.%x.%x;", uint64(h.IA), h.In, h.Eg)
+		}
+		return string(b)
+	}
+	sortBy(paths, func(a, b *Path) bool {
+		if len(a.Hops) != len(b.Hops) {
+			return len(a.Hops) < len(b.Hops)
+		}
+		return fingerprint(a) < fingerprint(b)
+	})
+}
+
+// sortBy is a tiny generic sort helper.
+func sortBy[T any](s []T, less func(a, b T) bool) {
+	// insertion sort: path lists are short.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package segment
+
+import (
+	"strings"
+	"testing"
+
+	"colibri/internal/topology"
+)
+
+func ia(isd topology.ISD, as topology.ASID) topology.IA { return topology.MustIA(isd, as) }
+
+func discoverTwoISD(t *testing.T) (*topology.Topology, *Registry) {
+	t.Helper()
+	topo := topology.TwoISD(topology.LinkSpec{})
+	return topo, Discover(topo, DiscoverOpts{})
+}
+
+func TestDiscoverTwoISD(t *testing.T) {
+	_, reg := discoverTwoISD(t)
+
+	ups := reg.UpSegments(ia(1, 11))
+	if len(ups) == 0 {
+		t.Fatal("no up-segments for 1-11")
+	}
+	for _, u := range ups {
+		if u.Type != Up {
+			t.Errorf("segment type %v, want up", u.Type)
+		}
+		if u.SrcIA() != ia(1, 11) {
+			t.Errorf("up-segment src %s, want 1-11", u.SrcIA())
+		}
+	}
+	// 1-11 reaches core 1-1 via transit 1-2 or 1-3: two 3-hop up-segments.
+	if len(ups) != 2 {
+		t.Errorf("got %d up-segments, want 2", len(ups))
+	}
+	if ups[0].Len() != 3 || ups[0].DstIA() != ia(1, 1) {
+		t.Errorf("shortest up-segment = %s", ups[0])
+	}
+
+	downs := reg.DownSegments(ia(2, 11))
+	if len(downs) == 0 {
+		t.Fatal("no down-segments for 2-11")
+	}
+	if downs[0].SrcIA() != ia(2, 1) || downs[0].DstIA() != ia(2, 11) {
+		t.Errorf("down-segment = %s", downs[0])
+	}
+
+	cores := reg.CoreSegments(ia(1, 1), ia(2, 1))
+	if len(cores) == 0 {
+		t.Fatal("no core-segments 1-1 → 2-1")
+	}
+	if cores[0].Len() != 2 { // 1-1 → 2-1 directly
+		t.Errorf("shortest core segment has %d hops: %s", cores[0].Len(), cores[0])
+	}
+}
+
+func TestDiscoverSymmetry(t *testing.T) {
+	_, reg := discoverTwoISD(t)
+	// Every up-segment should be the reverse of a down-segment.
+	for _, leaf := range []topology.IA{ia(1, 11), ia(2, 11)} {
+		ups := reg.UpSegments(leaf)
+		downs := reg.DownSegments(leaf)
+		if len(ups) != len(downs) {
+			t.Fatalf("%s: %d ups vs %d downs", leaf, len(ups), len(downs))
+		}
+		downFPs := make(map[string]bool)
+		for _, d := range downs {
+			downFPs[d.Reversed(Up).Fingerprint()] = true
+		}
+		for _, u := range ups {
+			if !downFPs[u.Fingerprint()] {
+				t.Errorf("up-segment %s has no matching down-segment", u)
+			}
+		}
+	}
+}
+
+func TestJoinFullPath(t *testing.T) {
+	topo, reg := discoverTwoISD(t)
+	up := reg.UpSegments(ia(1, 11))[0]
+	core := reg.CoreSegments(up.DstIA(), ia(2, 1))[0]
+	down := reg.DownSegments(ia(2, 11))[0]
+	p, err := Join(up, core, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SrcIA() != ia(1, 11) || p.DstIA() != ia(2, 11) {
+		t.Errorf("path endpoints %s → %s", p.SrcIA(), p.DstIA())
+	}
+	// 1-11, 1-2 (or 1-3), 1-1, 2-1, 2-11
+	if p.Len() != 5 {
+		t.Errorf("path length %d, want 5: %s", p.Len(), p)
+	}
+	if err := p.VerifyAgainst(topo); err != nil {
+		t.Errorf("VerifyAgainst: %v", err)
+	}
+	if got := p.MinCapacityKbps(topo); got != topology.DefaultLinkCapacityKbps {
+		t.Errorf("MinCapacityKbps = %d", got)
+	}
+}
+
+func TestJoinRejectsBadOrder(t *testing.T) {
+	_, reg := discoverTwoISD(t)
+	up := reg.UpSegments(ia(1, 11))[0]
+	down := reg.DownSegments(ia(2, 11))[0]
+	core := reg.CoreSegments(ia(1, 1), ia(2, 1))[0]
+
+	if _, err := Join(down, up); err == nil {
+		t.Error("down,up should be rejected")
+	}
+	if _, err := Join(core, up); err == nil {
+		t.Error("core,up should be rejected")
+	}
+	if _, err := Join(up, up); err == nil {
+		t.Error("up,up should be rejected")
+	}
+	if _, err := Join(); err == nil {
+		t.Error("empty join should be rejected")
+	}
+	if _, err := Join(up, core, down, down); err == nil {
+		t.Error("4 segments should be rejected")
+	}
+}
+
+func TestJoinRejectsDisconnected(t *testing.T) {
+	_, reg := discoverTwoISD(t)
+	up := reg.UpSegments(ia(1, 11))[0] // ends at 1-1
+	down := reg.DownSegments(ia(2, 11))[0]
+	if up.DstIA() == down.SrcIA() {
+		t.Skip("segments happen to meet")
+	}
+	if _, err := Join(up, down); err == nil {
+		t.Error("disconnected segments should be rejected")
+	}
+}
+
+func TestPathsLeafToLeaf(t *testing.T) {
+	topo, reg := discoverTwoISD(t)
+	paths, err := reg.Paths(ia(1, 11), ia(2, 11), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths 1-11 → 2-11")
+	}
+	for _, p := range paths {
+		if err := p.VerifyAgainst(topo); err != nil {
+			t.Errorf("path %s invalid: %v", p, err)
+		}
+		if p.SrcIA() != ia(1, 11) || p.DstIA() != ia(2, 11) {
+			t.Errorf("wrong endpoints: %s", p)
+		}
+	}
+	// Shortest first.
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1].Len() > paths[i].Len() {
+			t.Error("paths not sorted by length")
+		}
+	}
+	// Path diversity: X-Y core link and the direct up through Y exist, so
+	// more than one path is expected.
+	if len(paths) < 2 {
+		t.Errorf("expected path diversity, got %d path(s)", len(paths))
+	}
+}
+
+func TestPathsCoreToCore(t *testing.T) {
+	_, reg := discoverTwoISD(t)
+	paths, err := reg.Paths(ia(1, 1), ia(2, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no core-to-core paths")
+	}
+	if paths[0].Len() != 2 {
+		t.Errorf("shortest core path length = %d, want 2", paths[0].Len())
+	}
+}
+
+func TestPathsLimitAndErrors(t *testing.T) {
+	_, reg := discoverTwoISD(t)
+	if _, err := reg.Paths(ia(1, 11), ia(1, 11), 0); err == nil {
+		t.Error("same-AS path request should fail")
+	}
+	if _, err := reg.Paths(ia(9, 9), ia(1, 11), 0); err == nil {
+		t.Error("unknown AS should fail")
+	}
+	paths, err := reg.Paths(ia(1, 11), ia(2, 11), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("limit=1 returned %d paths", len(paths))
+	}
+}
+
+func TestPathsLeafToCoreAndBack(t *testing.T) {
+	topo, reg := discoverTwoISD(t)
+	up, err := reg.Paths(ia(1, 11), ia(2, 1), 0)
+	if err != nil || len(up) == 0 {
+		t.Fatalf("leaf→core: %v, %d paths", err, len(up))
+	}
+	down, err := reg.Paths(ia(2, 1), ia(1, 11), 0)
+	if err != nil || len(down) == 0 {
+		t.Fatalf("core→leaf: %v, %d paths", err, len(down))
+	}
+	for _, p := range append(up, down...) {
+		if err := p.VerifyAgainst(topo); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestPathsOnGeneratedTopology(t *testing.T) {
+	topo := topology.Generate(topology.GenSpec{
+		ISDs: 2, CoresPerISD: 2, ProvidersPerISD: 2, LeavesPerISD: 3,
+		ProviderUplinks: 2, LeafUplinks: 2, Seed: 3,
+	})
+	reg := Discover(topo, DiscoverOpts{})
+	src := ia(1, 5) // first leaf of ISD 1 (2 cores + 2 providers → leaves at 5..7)
+	dst := ia(2, 5)
+	paths, err := reg.Paths(src, dst, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no inter-ISD leaf paths on generated topology")
+	}
+	for _, p := range paths {
+		if err := p.VerifyAgainst(topo); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestUpDownShortcutSameISD(t *testing.T) {
+	// Two leaves under the same core: up+down shortcut join at the core.
+	topo := topology.Star(2, topology.LinkSpec{})
+	reg := Discover(topo, DiscoverOpts{})
+	paths, err := reg.Paths(ia(1, 2), ia(1, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shortcut path between sibling leaves")
+	}
+	if paths[0].Len() != 3 {
+		t.Errorf("shortcut path length = %d, want 3 (%s)", paths[0].Len(), paths[0])
+	}
+	if err := paths[0].VerifyAgainst(topo); err != nil {
+		t.Error(err)
+	}
+	if len(paths[0].Segments) != 2 {
+		t.Errorf("shortcut should use 2 segments, got %d", len(paths[0].Segments))
+	}
+}
+
+func TestSegmentReversedInvolution(t *testing.T) {
+	_, reg := discoverTwoISD(t)
+	u := reg.UpSegments(ia(1, 11))[0]
+	rr := u.Reversed(Down).Reversed(Up)
+	if rr.Fingerprint() != u.Fingerprint() {
+		t.Error("Reversed twice is not identity")
+	}
+}
+
+func TestLinePathLengths(t *testing.T) {
+	// Line topologies drive Fig. 5/6 experiments: verify an n-AS line yields
+	// an n-hop path from first to last AS.
+	for _, n := range []int{2, 4, 8, 16} {
+		topo := topology.Line(n, 1, topology.LinkSpec{})
+		reg := Discover(topo, DiscoverOpts{MaxLen: 20})
+		paths, err := reg.Paths(ia(1, 1), ia(1, topology.ASID(n)), 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(paths) == 0 {
+			t.Fatalf("n=%d: no path", n)
+		}
+		if paths[0].Len() != n {
+			t.Errorf("n=%d: path length %d", n, paths[0].Len())
+		}
+	}
+}
+
+func TestPathValidateCatchesLoops(t *testing.T) {
+	p := &Path{Hops: []Hop{
+		{IA: ia(1, 1), Eg: 1},
+		{IA: ia(1, 2), In: 1, Eg: 2},
+		{IA: ia(1, 1), In: 2},
+	}}
+	if err := p.validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("expected loop error, got %v", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" || Core.String() != "core" {
+		t.Error("Type.String broken")
+	}
+	if !strings.Contains(Type(9).String(), "9") {
+		t.Error("unknown type should include number")
+	}
+}

@@ -1,0 +1,309 @@
+// Package topology models a path-aware inter-domain network in the style of
+// SCION: autonomous systems (ASes) grouped into isolation domains (ISDs),
+// distinguished into core and non-core ASes, connected by inter-domain links
+// attached to per-AS interfaces.
+//
+// The topology is the static substrate on which Colibri operates: path
+// segments are discovered over it (package segment), reservations are made
+// along its interface pairs, and the simulator (package netsim) uses its link
+// capacities and latencies.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ISD identifies an isolation domain.
+type ISD uint16
+
+// ASID identifies an AS within the global numbering space (48 bits used).
+type ASID uint64
+
+// IA is the combined ISD-AS identifier: ISD in the top 16 bits, AS in the
+// lower 48. The zero IA is invalid.
+type IA uint64
+
+// MustIA builds an IA from an ISD and AS number.
+func MustIA(isd ISD, as ASID) IA {
+	if as >= 1<<48 {
+		panic(fmt.Sprintf("AS number %d exceeds 48 bits", as))
+	}
+	return IA(uint64(isd)<<48 | uint64(as))
+}
+
+// ISD returns the isolation-domain part of the IA.
+func (ia IA) ISD() ISD { return ISD(ia >> 48) }
+
+// AS returns the AS-number part of the IA.
+func (ia IA) AS() ASID { return ASID(ia & (1<<48 - 1)) }
+
+// IsZero reports whether the IA is the invalid zero value.
+func (ia IA) IsZero() bool { return ia == 0 }
+
+func (ia IA) String() string { return fmt.Sprintf("%d-%d", ia.ISD(), ia.AS()) }
+
+// IfID identifies an interface within one AS. Interface IDs are unique per
+// AS and chosen by each AS independently, as in SCION. IfID 0 denotes "no
+// interface" (the local AS boundary at path ends).
+type IfID uint16
+
+// LinkType classifies the business relationship of an inter-domain link.
+type LinkType uint8
+
+const (
+	// LinkCore connects two core ASes (possibly in different ISDs).
+	LinkCore LinkType = iota
+	// LinkParent connects a provider (parent) to a customer (child). The
+	// link is stored on the parent side; the child side sees LinkChild.
+	LinkParent
+	// LinkChild is the customer side of a provider-customer link.
+	LinkChild
+	// LinkPeer connects two non-core ASes laterally. Peering links are
+	// modelled but not used for segment construction in this reproduction.
+	LinkPeer
+)
+
+func (t LinkType) String() string {
+	switch t {
+	case LinkCore:
+		return "core"
+	case LinkParent:
+		return "parent"
+	case LinkChild:
+		return "child"
+	case LinkPeer:
+		return "peer"
+	default:
+		return fmt.Sprintf("linktype(%d)", uint8(t))
+	}
+}
+
+// Link is one direction-less inter-domain link between two AS interfaces.
+// Capacity is the usable bandwidth in kbps; Latency is the one-way
+// propagation delay in nanoseconds (kept as int64 to stay stdlib-friendly in
+// hot paths).
+type Link struct {
+	A, B         IA
+	AIf, BIf     IfID
+	CapacityKbps uint64
+	LatencyNs    int64
+}
+
+// Interface is one AS-side endpoint of a link.
+type Interface struct {
+	ID         IfID
+	Type       LinkType // relationship as seen from this AS
+	Neighbor   IA
+	NeighborIf IfID
+	Link       *Link
+}
+
+// CapacityKbps returns the capacity of the attached link.
+func (intf *Interface) CapacityKbps() uint64 { return intf.Link.CapacityKbps }
+
+// AS is one autonomous system in the topology.
+type AS struct {
+	IA         IA
+	Core       bool
+	Interfaces map[IfID]*Interface
+
+	// InternalCapacityKbps bounds traffic crossing the AS fabric between
+	// any interface pair; 0 means unconstrained.
+	InternalCapacityKbps uint64
+}
+
+// Interface returns the interface with the given ID, or nil.
+func (a *AS) Interface(id IfID) *Interface { return a.Interfaces[id] }
+
+// SortedIfIDs returns the AS's interface IDs in ascending order, useful for
+// deterministic iteration.
+func (a *AS) SortedIfIDs() []IfID {
+	ids := make([]IfID, 0, len(a.Interfaces))
+	for id := range a.Interfaces {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Neighbors returns the distinct neighbor IAs of the AS.
+func (a *AS) Neighbors() []IA {
+	seen := make(map[IA]bool, len(a.Interfaces))
+	var out []IA
+	for _, id := range a.SortedIfIDs() {
+		n := a.Interfaces[id].Neighbor
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Topology is an immutable-after-build snapshot of the inter-domain graph.
+type Topology struct {
+	ASes  map[IA]*AS
+	Links []*Link
+}
+
+// New returns an empty topology ready for building.
+func New() *Topology {
+	return &Topology{ASes: make(map[IA]*AS)}
+}
+
+// AddAS inserts an AS. It panics if the IA is zero or already present; the
+// builder API is for test/setup code where that is a programming error.
+func (t *Topology) AddAS(ia IA, core bool) *AS {
+	if ia.IsZero() {
+		panic("topology: zero IA")
+	}
+	if _, ok := t.ASes[ia]; ok {
+		panic(fmt.Sprintf("topology: duplicate AS %s", ia))
+	}
+	as := &AS{IA: ia, Core: core, Interfaces: make(map[IfID]*Interface)}
+	t.ASes[ia] = as
+	return as
+}
+
+// AS returns the AS with the given IA, or nil.
+func (t *Topology) AS(ia IA) *AS { return t.ASes[ia] }
+
+// LinkSpec describes one link for Connect.
+type LinkSpec struct {
+	CapacityKbps uint64
+	LatencyNs    int64
+}
+
+// DefaultLinkCapacityKbps is used when a LinkSpec leaves capacity zero
+// (40 Gbps, matching the paper's testbed links).
+const DefaultLinkCapacityKbps = 40_000_000
+
+// Connect links interface aIf of AS a with interface bIf of AS b. The link
+// type is the relationship as seen from a: LinkCore for core-core links,
+// LinkParent if a is b's provider. It returns an error on unknown ASes,
+// duplicate interfaces, or a relationship inconsistent with the core flags.
+func (t *Topology) Connect(a IA, aIf IfID, b IA, bIf IfID, typ LinkType, spec LinkSpec) (*Link, error) {
+	asA, asB := t.ASes[a], t.ASes[b]
+	if asA == nil {
+		return nil, fmt.Errorf("topology: unknown AS %s", a)
+	}
+	if asB == nil {
+		return nil, fmt.Errorf("topology: unknown AS %s", b)
+	}
+	if aIf == 0 || bIf == 0 {
+		return nil, fmt.Errorf("topology: interface ID 0 is reserved")
+	}
+	if _, ok := asA.Interfaces[aIf]; ok {
+		return nil, fmt.Errorf("topology: AS %s interface %d already in use", a, aIf)
+	}
+	if _, ok := asB.Interfaces[bIf]; ok {
+		return nil, fmt.Errorf("topology: AS %s interface %d already in use", b, bIf)
+	}
+	var typB LinkType
+	switch typ {
+	case LinkCore:
+		if !asA.Core || !asB.Core {
+			return nil, fmt.Errorf("topology: core link %s-%s requires two core ASes", a, b)
+		}
+		typB = LinkCore
+	case LinkParent:
+		typB = LinkChild
+	case LinkChild:
+		typB = LinkParent
+	case LinkPeer:
+		typB = LinkPeer
+	default:
+		return nil, fmt.Errorf("topology: invalid link type %v", typ)
+	}
+	if spec.CapacityKbps == 0 {
+		spec.CapacityKbps = DefaultLinkCapacityKbps
+	}
+	l := &Link{A: a, B: b, AIf: aIf, BIf: bIf, CapacityKbps: spec.CapacityKbps, LatencyNs: spec.LatencyNs}
+	asA.Interfaces[aIf] = &Interface{ID: aIf, Type: typ, Neighbor: b, NeighborIf: bIf, Link: l}
+	asB.Interfaces[bIf] = &Interface{ID: bIf, Type: typB, Neighbor: a, NeighborIf: aIf, Link: l}
+	t.Links = append(t.Links, l)
+	return l, nil
+}
+
+// MustConnect is Connect for setup code; it panics on error.
+func (t *Topology) MustConnect(a IA, aIf IfID, b IA, bIf IfID, typ LinkType, spec LinkSpec) *Link {
+	l, err := t.Connect(a, aIf, b, bIf, typ, spec)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// CoreASes returns the core ASes, sorted by IA for determinism.
+func (t *Topology) CoreASes() []*AS {
+	var out []*AS
+	for _, as := range t.ASes {
+		if as.Core {
+			out = append(out, as)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IA < out[j].IA })
+	return out
+}
+
+// NonCoreASes returns the non-core ASes, sorted by IA.
+func (t *Topology) NonCoreASes() []*AS {
+	var out []*AS
+	for _, as := range t.ASes {
+		if !as.Core {
+			out = append(out, as)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IA < out[j].IA })
+	return out
+}
+
+// SortedIAs returns all IAs in ascending order.
+func (t *Topology) SortedIAs() []IA {
+	out := make([]IA, 0, len(t.ASes))
+	for ia := range t.ASes {
+		out = append(out, ia)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural invariants: every interface's link endpoints are
+// consistent, neighbor references resolve, and ISDs each have at least one
+// core AS.
+func (t *Topology) Validate() error {
+	isdHasCore := make(map[ISD]bool)
+	for ia, as := range t.ASes {
+		if as.IA != ia {
+			return fmt.Errorf("AS map key %s != AS.IA %s", ia, as.IA)
+		}
+		if as.Core {
+			isdHasCore[ia.ISD()] = true
+		} else if _, ok := isdHasCore[ia.ISD()]; !ok {
+			isdHasCore[ia.ISD()] = false
+		}
+		for id, intf := range as.Interfaces {
+			if intf.ID != id {
+				return fmt.Errorf("AS %s: interface map key %d != ID %d", ia, id, intf.ID)
+			}
+			nb := t.ASes[intf.Neighbor]
+			if nb == nil {
+				return fmt.Errorf("AS %s if %d: unknown neighbor %s", ia, id, intf.Neighbor)
+			}
+			back := nb.Interfaces[intf.NeighborIf]
+			if back == nil || back.Neighbor != ia || back.NeighborIf != id {
+				return fmt.Errorf("AS %s if %d: neighbor %s does not link back", ia, id, intf.Neighbor)
+			}
+			if intf.Link == nil || intf.Link.CapacityKbps == 0 {
+				return fmt.Errorf("AS %s if %d: missing or zero-capacity link", ia, id)
+			}
+		}
+	}
+	for isd, has := range isdHasCore {
+		if !has {
+			return fmt.Errorf("ISD %d has no core AS", isd)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIAParts(t *testing.T) {
+	cases := []struct {
+		isd ISD
+		as  ASID
+	}{
+		{1, 1},
+		{0, 0},
+		{65535, 1<<48 - 1},
+		{12, 4242},
+	}
+	for _, c := range cases {
+		ia := MustIA(c.isd, c.as)
+		if ia.ISD() != c.isd || ia.AS() != c.as {
+			t.Errorf("MustIA(%d,%d) roundtrip got (%d,%d)", c.isd, c.as, ia.ISD(), ia.AS())
+		}
+	}
+}
+
+func TestIARoundTripQuick(t *testing.T) {
+	f := func(isd uint16, as uint64) bool {
+		as &= 1<<48 - 1
+		ia := MustIA(ISD(isd), ASID(as))
+		return ia.ISD() == ISD(isd) && ia.AS() == ASID(as)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustIAPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 49-bit AS")
+		}
+	}()
+	MustIA(1, 1<<48)
+}
+
+func TestIAString(t *testing.T) {
+	if got := MustIA(3, 77).String(); got != "3-77" {
+		t.Errorf("String() = %q, want %q", got, "3-77")
+	}
+}
+
+func TestConnectWiresBothSides(t *testing.T) {
+	topo := New()
+	a := MustIA(1, 1)
+	b := MustIA(1, 2)
+	topo.AddAS(a, true)
+	topo.AddAS(b, false)
+	l, err := topo.Connect(a, 7, b, 9, LinkParent, LinkSpec{CapacityKbps: 1000, LatencyNs: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifa := topo.AS(a).Interface(7)
+	ifb := topo.AS(b).Interface(9)
+	if ifa == nil || ifb == nil {
+		t.Fatal("interfaces not created")
+	}
+	if ifa.Neighbor != b || ifa.NeighborIf != 9 || ifa.Type != LinkParent {
+		t.Errorf("side A wrong: %+v", ifa)
+	}
+	if ifb.Neighbor != a || ifb.NeighborIf != 7 || ifb.Type != LinkChild {
+		t.Errorf("side B wrong: %+v", ifb)
+	}
+	if ifa.Link != l || ifb.Link != l {
+		t.Error("interfaces do not share the link")
+	}
+	if ifa.CapacityKbps() != 1000 {
+		t.Errorf("capacity = %d, want 1000", ifa.CapacityKbps())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	topo := New()
+	a := MustIA(1, 1)
+	b := MustIA(1, 2)
+	c := MustIA(1, 3)
+	topo.AddAS(a, true)
+	topo.AddAS(b, false)
+	topo.AddAS(c, false)
+
+	if _, err := topo.Connect(MustIA(9, 9), 1, b, 1, LinkParent, LinkSpec{}); err == nil {
+		t.Error("expected error for unknown AS a")
+	}
+	if _, err := topo.Connect(a, 1, MustIA(9, 9), 1, LinkParent, LinkSpec{}); err == nil {
+		t.Error("expected error for unknown AS b")
+	}
+	if _, err := topo.Connect(a, 0, b, 1, LinkParent, LinkSpec{}); err == nil {
+		t.Error("expected error for interface 0")
+	}
+	if _, err := topo.Connect(a, 1, b, 1, LinkCore, LinkSpec{}); err == nil {
+		t.Error("expected error for core link to non-core AS")
+	}
+	if _, err := topo.Connect(a, 1, b, 1, LinkParent, LinkSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Connect(a, 1, c, 1, LinkParent, LinkSpec{}); err == nil {
+		t.Error("expected error for duplicate interface on a")
+	}
+	if _, err := topo.Connect(c, 1, b, 1, LinkParent, LinkSpec{}); err == nil {
+		t.Error("expected error for duplicate interface on b")
+	}
+}
+
+func TestConnectDefaultCapacity(t *testing.T) {
+	topo := New()
+	a, b := MustIA(1, 1), MustIA(1, 2)
+	topo.AddAS(a, true)
+	topo.AddAS(b, true)
+	l := topo.MustConnect(a, 1, b, 1, LinkCore, LinkSpec{})
+	if l.CapacityKbps != DefaultLinkCapacityKbps {
+		t.Errorf("default capacity = %d, want %d", l.CapacityKbps, DefaultLinkCapacityKbps)
+	}
+}
+
+func TestAddASDuplicatePanics(t *testing.T) {
+	topo := New()
+	topo.AddAS(MustIA(1, 1), true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate AS")
+		}
+	}()
+	topo.AddAS(MustIA(1, 1), false)
+}
+
+func TestGenerateHierarchical(t *testing.T) {
+	topo := Generate(GenSpec{
+		ISDs: 3, CoresPerISD: 2, ProvidersPerISD: 2, LeavesPerISD: 4,
+		ProviderUplinks: 2, LeafUplinks: 2, Seed: 1,
+	})
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	wantASes := 3 * (2 + 2 + 4)
+	if len(topo.ASes) != wantASes {
+		t.Errorf("#ASes = %d, want %d", len(topo.ASes), wantASes)
+	}
+	if got := len(topo.CoreASes()); got != 6 {
+		t.Errorf("#core = %d, want 6", got)
+	}
+	// Every leaf must be multihomed to 2 providers.
+	for _, as := range topo.NonCoreASes() {
+		if len(as.Interfaces) < 1 {
+			t.Errorf("AS %s has no interfaces", as.IA)
+		}
+	}
+	// Core mesh within each ISD.
+	for isd := ISD(1); isd <= 3; isd++ {
+		a := topo.AS(MustIA(isd, 1))
+		foundPeer := false
+		for _, id := range a.SortedIfIDs() {
+			intf := a.Interfaces[id]
+			if intf.Type == LinkCore && intf.Neighbor == MustIA(isd, 2) {
+				foundPeer = true
+			}
+		}
+		if !foundPeer {
+			t.Errorf("ISD %d: cores 1 and 2 not meshed", isd)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{ISDs: 2, CoresPerISD: 3, ProvidersPerISD: 2, LeavesPerISD: 3, Seed: 7}
+	a := Generate(spec)
+	b := Generate(spec)
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("link counts differ: %d vs %d", len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		la, lb := a.Links[i], b.Links[i]
+		if la.A != lb.A || la.B != lb.B || la.AIf != lb.AIf || la.BIf != lb.BIf {
+			t.Fatalf("link %d differs: %+v vs %+v", i, la, lb)
+		}
+	}
+}
+
+func TestLine(t *testing.T) {
+	topo := Line(5, 2, LinkSpec{})
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.ASes) != 5 || len(topo.Links) != 4 {
+		t.Fatalf("Line(5): %d ASes %d links", len(topo.ASes), len(topo.Links))
+	}
+	if !topo.AS(MustIA(1, 1)).Core || !topo.AS(MustIA(1, 2)).Core || topo.AS(MustIA(1, 3)).Core {
+		t.Error("core flags wrong")
+	}
+	// Link 1-2 is core, 2-3 parent.
+	if topo.AS(MustIA(1, 1)).Interface(1).Type != LinkCore {
+		t.Error("1-1 to 1-2 should be core link")
+	}
+	if topo.AS(MustIA(1, 2)).Interface(2).Type != LinkParent {
+		t.Error("1-2 to 1-3 should be parent link")
+	}
+}
+
+func TestStar(t *testing.T) {
+	topo := Star(8, LinkSpec{})
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hub := topo.AS(MustIA(1, 1))
+	if len(hub.Interfaces) != 8 {
+		t.Errorf("hub has %d interfaces, want 8", len(hub.Interfaces))
+	}
+	if got := hub.Neighbors(); len(got) != 8 {
+		t.Errorf("hub neighbors = %d, want 8", len(got))
+	}
+}
+
+func TestTwoISD(t *testing.T) {
+	topo := TwoISD(LinkSpec{})
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.ASes) != 6 {
+		t.Fatalf("#ASes = %d, want 6", len(topo.ASes))
+	}
+	if got := len(topo.CoreASes()); got != 2 {
+		t.Errorf("#core = %d, want 2", got)
+	}
+	// S is multihomed under X and X'.
+	if got := len(topo.AS(MustIA(1, 11)).Interfaces); got != 2 {
+		t.Errorf("S has %d interfaces, want 2", got)
+	}
+}
+
+func TestValidateCatchesISDWithoutCore(t *testing.T) {
+	topo := New()
+	topo.AddAS(MustIA(1, 1), false)
+	if err := topo.Validate(); err == nil {
+		t.Error("expected validation error for ISD without core")
+	}
+}
+
+func TestLinkTypeString(t *testing.T) {
+	for typ, want := range map[LinkType]string{
+		LinkCore: "core", LinkParent: "parent", LinkChild: "child", LinkPeer: "peer", LinkType(99): "linktype(99)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("LinkType(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
