@@ -17,6 +17,8 @@ import (
 	"colibri/internal/experiments"
 	"colibri/internal/packet"
 	"colibri/internal/reservation"
+	"colibri/internal/router"
+	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 	"colibri/internal/workload"
 )
@@ -189,6 +191,75 @@ func BenchmarkAppendixEPayloadSize(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead compares the data-plane hot paths with and
+// without telemetry instruments attached: the border router's Process
+// (per-packet counters + drop tracer when Config.Telemetry is set) and the
+// gateway's Build (per-phase wall-clock histograms after EnableTelemetry).
+// The off/on delta is the observability tax recorded in EXPERIMENTS.md.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	gwOff, routers, secrets := workload.GatewayPopulationWithSecrets(1024, 4, rng)
+	ids := workload.RandomResIDs(1<<16, 1024, rng)
+
+	// Last-hop packets: delivery does not mutate the buffer.
+	w4 := gwOff.NewWorker()
+	pkts := make([][]byte, 4096)
+	for i := range pkts {
+		buf := make([]byte, 512)
+		sz, err := w4.Build(ids[i%len(ids)], nil, buf, workload.EpochNs+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkt := buf[:sz]
+		packet.SetCurrHopInPlace(pkt, 3)
+		pkts[i] = pkt
+	}
+
+	routerBench := func(rt *router.Router) func(b *testing.B) {
+		return func(b *testing.B) {
+			w := rt.NewWorker()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Process(pkts[i%len(pkts)], workload.EpochNs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("router/off", routerBench(routers[3]))
+	b.Run("router/on", routerBench(router.New(router.Config{
+		IA:        topology.MustIA(1, 4),
+		Secret:    secrets[3],
+		Telemetry: telemetry.NewRegistry("bench"),
+	})))
+
+	b.Run("gateway/off", func(b *testing.B) {
+		w := gwOff.NewWorker()
+		out := make([]byte, 2048)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Build(ids[i%len(ids)], nil, out, workload.EpochNs+int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gateway/on", func(b *testing.B) {
+		gwOn, _, _ := workload.GatewayPopulationWithSecrets(1024, 4, rng)
+		gwOn.EnableTelemetry(telemetry.NewRegistry("bench"))
+		w := gwOn.NewWorker()
+		out := make([]byte, 2048)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Build(ids[i%len(ids)], nil, out, workload.EpochNs+int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCServThroughput: the §6.2 headline claims — a single core

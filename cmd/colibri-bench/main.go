@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	colibri-bench [-quick] [-duration 300ms] [fig3|fig4|fig5|fig6|table2|appendix-e|all]
+//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [fig3|fig4|fig5|fig6|table2|appendix-e|all]
 //
 // With -quick, reduced parameter grids keep the total runtime under a
 // minute; the default grids match the paper's sweeps (fig5/fig6 with
 // r = 2^20 build million-entry gateways and take several minutes).
+//
+// With -telemetry, the experiments' internal instruments (gateway phase
+// latency histograms, router drop counters, simulated queue depths) are
+// collected and dumped at exit in the chosen format.
 package main
 
 import (
@@ -17,12 +21,25 @@ import (
 	"time"
 
 	"colibri/internal/experiments"
+	"colibri/internal/telemetry"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter grids")
 	dur := flag.Duration("duration", 300*time.Millisecond, "measurement time per data-plane point")
+	telFmt := flag.String("telemetry", "", "dump internal instruments at exit: text or json")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	switch *telFmt {
+	case "":
+	case "text", "json":
+		reg = telemetry.NewRegistry("bench")
+		experiments.EnableTelemetry(reg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -telemetry format %q (want text or json)\n", *telFmt)
+		os.Exit(2)
+	}
 
 	what := "all"
 	if flag.NArg() > 0 {
@@ -81,5 +98,18 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|all)\n", what)
 		os.Exit(2)
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Println("— telemetry —")
+		if *telFmt == "json" {
+			if err := telemetry.WriteJSON(os.Stdout, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+				os.Exit(1)
+			}
+		} else if err := telemetry.WriteText(os.Stdout, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -10,13 +10,19 @@ import (
 	"os"
 
 	"colibri"
+	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 )
 
 func main() {
 	segBw := flag.Uint64("segr-kbps", 1_000_000, "bandwidth per segment reservation [kbps]")
 	eerBw := flag.Uint64("eer-kbps", 8_000, "end-to-end reservation bandwidth [kbps]")
+	telFmt := flag.String("telemetry", "", "dump per-AS telemetry at exit: text or json")
 	flag.Parse()
+	if *telFmt != "" && *telFmt != "text" && *telFmt != "json" {
+		fmt.Fprintf(os.Stderr, "unknown -telemetry format %q (want text or json)\n", *telFmt)
+		os.Exit(2)
+	}
 
 	fail := func(step string, err error) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", step, err)
@@ -27,6 +33,7 @@ func main() {
 	net, err := colibri.NewNetwork(colibri.TwoISDTopology(), colibri.Options{
 		EnableReplaySuppression: true,
 		EnableOFD:               true,
+		Telemetry:               *telFmt != "",
 	})
 	if err != nil {
 		fail("network", err)
@@ -99,6 +106,17 @@ func main() {
 			continue
 		}
 		fmt.Printf("  %s: %v\n", ia, drops)
+	}
+	if *telFmt != "" {
+		snaps := net.TelemetrySnapshots()
+		fmt.Println("◆ per-AS telemetry:")
+		if *telFmt == "json" {
+			if err := telemetry.WriteJSON(os.Stdout, snaps...); err != nil {
+				fail("telemetry", err)
+			}
+		} else if err := telemetry.WriteText(os.Stdout, snaps...); err != nil {
+			fail("telemetry", err)
+		}
 	}
 	fmt.Println("✓ scenario complete")
 }

@@ -24,6 +24,7 @@ import (
 	"colibri/internal/replay"
 	"colibri/internal/router"
 	"colibri/internal/segment"
+	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 )
 
@@ -58,6 +59,9 @@ type Node struct {
 	Router  *router.Router
 	Gateway *gateway.Gateway
 	KeySrv  *drkey.Server
+	// Telemetry is the AS-wide registry all of the node's components emit
+	// through; nil unless Options.Telemetry was set.
+	Telemetry *telemetry.Registry
 
 	// routerWorker is the node's default worker for the Network's
 	// single-threaded data-plane walk; benches create their own.
@@ -82,6 +86,9 @@ type Options struct {
 	Policy map[topology.IA]cserv.Policy
 	// DiscoverOpts tunes path discovery.
 	DiscoverOpts segment.DiscoverOpts
+	// Telemetry creates one telemetry.Registry per AS and wires CServ,
+	// router, gateway, and flow monitor into it.
+	Telemetry bool
 }
 
 // Network is a fully wired multi-AS Colibri deployment.
@@ -132,6 +139,9 @@ func NewNetwork(topo *topology.Topology, opts Options) (*Network, error) {
 
 	for _, ia := range topo.SortedIAs() {
 		node := n.nodes[ia]
+		if opts.Telemetry {
+			node.Telemetry = telemetry.NewRegistry("as " + ia.String())
+		}
 		// The per-AS data-plane secret K_i, shared by the AS's CServ and
 		// border router.
 		asSecret := cryptoutil.Key{}
@@ -147,17 +157,27 @@ func NewNetwork(topo *topology.Topology, opts Options) (*Network, error) {
 			Clock:     n.Clock.NowSec,
 			Policy:    opts.Policy[ia],
 			RateLimit: opts.RateLimit,
+			Telemetry: node.Telemetry,
 		})
-		rcfg := router.Config{IA: ia, Secret: asSecret}
+		rcfg := router.Config{IA: ia, Secret: asSecret, Telemetry: node.Telemetry}
 		if opts.EnableReplaySuppression {
 			rcfg.Replay = replay.New(replay.Config{})
+			if node.Telemetry != nil {
+				rcfg.Replay.SetGauge(node.Telemetry.Gauge("replay.window_inserts"))
+			}
 		}
 		if opts.EnableOFD {
 			rcfg.OFD = ofd.New(ofd.Config{})
+			if node.Telemetry != nil {
+				rcfg.OFD.SetGauge(node.Telemetry.Gauge("ofd.suspicious"))
+			}
 		}
 		rcfg.Blocklist = monitor.NewBlocklist()
 		node.Router = router.New(rcfg)
 		node.Gateway = gateway.New(ia)
+		if node.Telemetry != nil {
+			node.Gateway.EnableTelemetry(node.Telemetry)
+		}
 		node.routerWorker = node.Router.NewWorker()
 		node.gwWorker = node.Gateway.NewWorker()
 	}
@@ -194,6 +214,18 @@ func (n *Network) QueryKeyServer(dst topology.IA, req []byte) ([]byte, error) {
 
 // Node returns the node of an AS (nil if unknown).
 func (n *Network) Node(ia topology.IA) *Node { return n.nodes[ia] }
+
+// TelemetrySnapshots captures the registry of every AS (in sorted AS order).
+// Empty unless the network was built with Options.Telemetry.
+func (n *Network) TelemetrySnapshots() []telemetry.Snapshot {
+	var snaps []telemetry.Snapshot
+	for _, ia := range n.Topo.SortedIAs() {
+		if node := n.nodes[ia]; node.Telemetry != nil {
+			snaps = append(snaps, node.Telemetry.Snapshot())
+		}
+	}
+	return snaps
+}
 
 // Tick runs housekeeping on every node (expiry cleanup, rate-limit windows).
 func (n *Network) Tick() {

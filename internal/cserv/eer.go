@@ -8,6 +8,7 @@ import (
 	"colibri/internal/packet"
 	"colibri/internal/reservation"
 	"colibri/internal/segment"
+	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 )
 
@@ -185,16 +186,20 @@ func segsCovering(req *EESetupReq, idx int) []int {
 // processEESetup handles an EER setup/renewal request at hop idx.
 func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ *EESetupResp) {
 	defer func() {
+		kind := telemetry.EvEESetup
 		switch {
 		case resp_.OK && req.Renewal:
 			s.metrics.EERenewOK.Add(1)
+			kind = telemetry.EvEERenew
 		case resp_.OK:
 			s.metrics.EESetupOK.Add(1)
 		case req.Renewal:
 			s.metrics.EERenewFail.Add(1)
+			kind = telemetry.EvEERenew
 		default:
 			s.metrics.EESetupFail.Add(1)
 		}
+		s.metrics.Trace(int64(s.clock())*1e9, kind, req.ID.String(), resp_.OK, resp_.Reason)
 	}()
 	fail := func(format string, args ...any) *EESetupResp {
 		return &EESetupResp{FailedAt: uint8(idx), Reason: fmt.Sprintf(format, args...)}

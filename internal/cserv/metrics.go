@@ -3,26 +3,64 @@ package cserv
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"colibri/internal/reservation"
+	"colibri/internal/telemetry"
 )
 
-// Metrics counts the service's control-plane activity. All counters are
-// safe for concurrent use; Snapshot returns a consistent copy.
+// Metrics counts the service's control-plane activity. It is a thin shim
+// over a telemetry.Registry: each field is a sharded telemetry.Counter, so
+// existing callers keep their `metrics.X.Add(1)` call shape while the
+// counters appear in registry snapshots next to the rest of the stack's
+// instruments. All counters are safe for concurrent use; Snapshot returns
+// a consistent copy (each value is an atomic read and never decreases).
 type Metrics struct {
-	SegSetupOK    atomic.Uint64
-	SegSetupFail  atomic.Uint64
-	SegRenewOK    atomic.Uint64
-	SegRenewFail  atomic.Uint64
-	SegActivate   atomic.Uint64
-	EESetupOK     atomic.Uint64
-	EESetupFail   atomic.Uint64
-	EERenewOK     atomic.Uint64
-	EERenewFail   atomic.Uint64
-	AuthFailures  atomic.Uint64
-	RateLimited   atomic.Uint64
-	RenewThrottle atomic.Uint64
+	SegSetupOK    *telemetry.Counter
+	SegSetupFail  *telemetry.Counter
+	SegRenewOK    *telemetry.Counter
+	SegRenewFail  *telemetry.Counter
+	SegActivate   *telemetry.Counter
+	EESetupOK     *telemetry.Counter
+	EESetupFail   *telemetry.Counter
+	EERenewOK     *telemetry.Counter
+	EERenewFail   *telemetry.Counter
+	AuthFailures  *telemetry.Counter
+	RateLimited   *telemetry.Counter
+	RenewThrottle *telemetry.Counter
+
+	reg   *telemetry.Registry
+	trace *telemetry.Tracer
+}
+
+// init binds the shim to a registry (creating a private one when reg is
+// nil, so a Service always has working metrics).
+func (m *Metrics) init(label string, reg *telemetry.Registry) {
+	if reg == nil {
+		reg = telemetry.NewRegistry(label)
+	}
+	m.reg = reg
+	m.SegSetupOK = reg.Counter("cserv.seg_setup_ok")
+	m.SegSetupFail = reg.Counter("cserv.seg_setup_fail")
+	m.SegRenewOK = reg.Counter("cserv.seg_renew_ok")
+	m.SegRenewFail = reg.Counter("cserv.seg_renew_fail")
+	m.SegActivate = reg.Counter("cserv.seg_activate")
+	m.EESetupOK = reg.Counter("cserv.ee_setup_ok")
+	m.EESetupFail = reg.Counter("cserv.ee_setup_fail")
+	m.EERenewOK = reg.Counter("cserv.ee_renew_ok")
+	m.EERenewFail = reg.Counter("cserv.ee_renew_fail")
+	m.AuthFailures = reg.Counter("cserv.auth_failures")
+	m.RateLimited = reg.Counter("cserv.rate_limited")
+	m.RenewThrottle = reg.Counter("cserv.renew_throttle")
+	m.trace = reg.Tracer("cserv.lifecycle", 0)
+}
+
+// Registry exposes the backing telemetry registry (for exporters and for
+// attaching further instruments of the same AS).
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+// Trace records a reservation-lifecycle event on the service's tracer.
+func (m *Metrics) Trace(nowNs int64, kind telemetry.EventKind, res string, ok bool, detail string) {
+	m.trace.Record(nowNs, kind, res, ok, detail)
 }
 
 // MetricsSnapshot is a point-in-time copy of the counters.
@@ -39,18 +77,18 @@ type MetricsSnapshot struct {
 // Snapshot copies the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		SegSetupOK:    m.SegSetupOK.Load(),
-		SegSetupFail:  m.SegSetupFail.Load(),
-		SegRenewOK:    m.SegRenewOK.Load(),
-		SegRenewFail:  m.SegRenewFail.Load(),
-		SegActivate:   m.SegActivate.Load(),
-		EESetupOK:     m.EESetupOK.Load(),
-		EESetupFail:   m.EESetupFail.Load(),
-		EERenewOK:     m.EERenewOK.Load(),
-		EERenewFail:   m.EERenewFail.Load(),
-		AuthFailures:  m.AuthFailures.Load(),
-		RateLimited:   m.RateLimited.Load(),
-		RenewThrottle: m.RenewThrottle.Load(),
+		SegSetupOK:    m.SegSetupOK.Value(),
+		SegSetupFail:  m.SegSetupFail.Value(),
+		SegRenewOK:    m.SegRenewOK.Value(),
+		SegRenewFail:  m.SegRenewFail.Value(),
+		SegActivate:   m.SegActivate.Value(),
+		EESetupOK:     m.EESetupOK.Value(),
+		EESetupFail:   m.EESetupFail.Value(),
+		EERenewOK:     m.EERenewOK.Value(),
+		EERenewFail:   m.EERenewFail.Value(),
+		AuthFailures:  m.AuthFailures.Value(),
+		RateLimited:   m.RateLimited.Value(),
+		RenewThrottle: m.RenewThrottle.Value(),
 	}
 }
 

@@ -1,0 +1,68 @@
+package cserv
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMetricsSnapshotConcurrent runs incrementers against snapshotters
+// (run with -race): every observed snapshot must be monotone per field,
+// and the final state exact.
+func TestMetricsSnapshotConcurrent(t *testing.T) {
+	var m Metrics
+	m.init("test", nil)
+
+	const incrementers = 4
+	const perGoroutine = 5000
+
+	var writersWG sync.WaitGroup
+	for g := 0; g < incrementers; g++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perGoroutine; i++ {
+				m.SegSetupOK.Add(1)
+				m.EESetupOK.Add(1)
+				m.AuthFailures.Add(1)
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var readersWG sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			var last MetricsSnapshot
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Snapshot()
+				if s.SegSetupOK < last.SegSetupOK ||
+					s.EESetupOK < last.EESetupOK ||
+					s.AuthFailures < last.AuthFailures {
+					t.Errorf("snapshot went backwards: %+v after %+v", s, last)
+					return
+				}
+				last = s
+			}
+		}()
+	}
+
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	want := uint64(incrementers * perGoroutine)
+	s := m.Snapshot()
+	if s.SegSetupOK != want || s.EESetupOK != want || s.AuthFailures != want {
+		t.Errorf("final snapshot %+v, want %d in each incremented field", s, want)
+	}
+	if s.SegRenewFail != 0 || s.RateLimited != 0 {
+		t.Errorf("untouched counters nonzero: %+v", s)
+	}
+}

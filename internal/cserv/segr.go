@@ -7,6 +7,7 @@ import (
 	"colibri/internal/packet"
 	"colibri/internal/reservation"
 	"colibri/internal/segment"
+	"colibri/internal/telemetry"
 )
 
 // SetupSegment initiates a segment reservation over the given discovered
@@ -127,16 +128,20 @@ func (s *Service) ActivateSegment(id reservation.ID, ver uint16) error {
 // compute the Eq. 3 token) or roll back.
 func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp_ *SegSetupResp) {
 	defer func() {
+		kind := telemetry.EvSegSetup
 		switch {
 		case resp_.OK && req.Renewal:
 			s.metrics.SegRenewOK.Add(1)
+			kind = telemetry.EvSegRenew
 		case resp_.OK:
 			s.metrics.SegSetupOK.Add(1)
 		case req.Renewal:
 			s.metrics.SegRenewFail.Add(1)
+			kind = telemetry.EvSegRenew
 		default:
 			s.metrics.SegSetupFail.Add(1)
 		}
+		s.metrics.Trace(int64(s.clock())*1e9, kind, req.ID.String(), resp_.OK, resp_.Reason)
 	}()
 	fail := func(format string, args ...any) *SegSetupResp {
 		return &SegSetupResp{FailedAt: uint8(idx), Reason: fmt.Sprintf(format, args...)}
@@ -303,5 +308,6 @@ func (s *Service) processSegActivate(req *SegActivateReq, idx int) *SegSetupResp
 		return fail("activate: %v", err)
 	}
 	s.metrics.SegActivate.Add(1)
+	s.metrics.Trace(int64(s.clock())*1e9, telemetry.EvSegActivate, req.ID.String(), true, "")
 	return &SegSetupResp{OK: true, FinalKbps: segr.Active.BwKbps}
 }

@@ -10,6 +10,7 @@ import (
 	"colibri/internal/drkey"
 	"colibri/internal/packet"
 	"colibri/internal/reservation"
+	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 )
 
@@ -99,6 +100,9 @@ type Config struct {
 	// RateLimit is the per-source-AS control-request budget per second
 	// (default 1000; §5.3 "per-AS rate limiting").
 	RateLimit int
+	// Telemetry is the AS-wide registry the service's metrics and lifecycle
+	// tracer attach to; a private registry is created when nil.
+	Telemetry *telemetry.Registry
 }
 
 // Service is one AS's Colibri service.
@@ -164,6 +168,7 @@ func New(cfg Config) *Service {
 		renewLim:   newRenewLimiter(),
 	}
 	s.macPool.New = func() any { return cryptoutil.MustCBCMAC(s.secret) }
+	s.metrics.init("cserv "+cfg.AS.IA.String(), cfg.Telemetry)
 	return s
 }
 

@@ -48,6 +48,9 @@ func RunFig5(hops, reservations []int, perPoint time.Duration) []Fig5Row {
 	for _, h := range hops {
 		for _, r := range reservations {
 			gw, _ := workload.GatewayPopulation(r, h, rng)
+			if telemetryReg != nil {
+				gw.EnableTelemetry(telemetryReg)
+			}
 			ids := workload.RandomResIDs(1<<16, r, rng)
 			w := gw.NewWorker()
 			out := make([]byte, 2048)
@@ -141,6 +144,9 @@ func RunFig6(workers []int, gwReservations []int, perPoint time.Duration) []Fig6
 	// Gateway: 4-hop paths, sweep r.
 	for _, r := range gwReservations {
 		gw, _ := workload.GatewayPopulation(r, 4, rng)
+		if telemetryReg != nil {
+			gw.EnableTelemetry(telemetryReg)
+		}
 		ids := workload.RandomResIDs(1<<16, r, rng)
 		for _, nw := range workers {
 			var seq atomic.Int64

@@ -166,11 +166,17 @@ func runT2Phase(ph t2Phase) *netsim.Counter {
 		IA:         topology.MustIA(1, 1),
 		Secret:     secret,
 		PoliceOnly: true,
+		Telemetry:  telemetryReg,
 	})
 	worker := rt.NewWorker()
 
 	sink := netsim.NewCounter()
 	outPort := netsim.NewPort(sim, "out", t2LinkKbps, 0, qos.StrictPriority, sink, 0)
+	if telemetryReg != nil {
+		probe := netsim.NewProbe(sim, telemetryReg, 1e6)
+		probe.Watch(outPort)
+		probe.Start(t2WarmNs + t2MeasureNs)
+	}
 
 	// The router node: validate Colibri packets, classify, enqueue.
 	routerNode := netsim.NodeFunc(func(pkt *netsim.Packet, _ int) {

@@ -1,0 +1,13 @@
+package experiments
+
+import "colibri/internal/telemetry"
+
+// telemetryReg, when set, is attached to the gateways, routers, and
+// simulated ports the experiments build, so a bench run can be observed
+// from the inside (per-phase latency histograms, drop counters, queue
+// depths). Nil keeps all hot paths instrument-free.
+var telemetryReg *telemetry.Registry
+
+// EnableTelemetry routes the instruments of subsequently run experiments
+// into reg (nil disables again). Not safe to flip while experiments run.
+func EnableTelemetry(reg *telemetry.Registry) { telemetryReg = reg }

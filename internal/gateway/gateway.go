@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"colibri/internal/cryptoutil"
 	"colibri/internal/monitor"
 	"colibri/internal/packet"
 	"colibri/internal/reservation"
+	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 )
 
@@ -59,6 +61,48 @@ type Gateway struct {
 	mon   *monitor.FlowMonitor
 	// lastTs backs the uniqueness of timestamps across all flows.
 	lastTs atomic.Uint64
+	// tel holds the optional per-packet-phase instruments; nil (the
+	// default) keeps Build free of timing calls.
+	tel atomic.Pointer[gwTelemetry]
+}
+
+// gwTelemetry bundles the gateway's instruments: wall-clock histograms for
+// the three phases of Build (state lookup, token-bucket policing, HVF
+// computation + serialization), outcome counters, and the resident-state
+// gauge whose cache behaviour Fig. 5 measures.
+type gwTelemetry struct {
+	lookupNs *telemetry.Histogram
+	bucketNs *telemetry.Histogram
+	hvfNs    *telemetry.Histogram
+	pktBytes *telemetry.Histogram
+	built    *telemetry.Counter
+	rejected *telemetry.Counter
+	expired  *telemetry.Counter
+	resident *telemetry.Gauge
+	trace    *telemetry.Tracer
+}
+
+// EnableTelemetry attaches the gateway's instruments to the AS-wide
+// registry and turns on per-packet-phase timing in Build. Enabling is safe
+// at any time (the pointer is swapped atomically); the per-flow monitor's
+// occupancy gauge is wired as well.
+func (g *Gateway) EnableTelemetry(reg *telemetry.Registry) {
+	t := &gwTelemetry{
+		lookupNs: reg.Histogram("gateway.lookup_ns"),
+		bucketNs: reg.Histogram("gateway.tokenbucket_ns"),
+		hvfNs:    reg.Histogram("gateway.hvf_ns"),
+		pktBytes: reg.Histogram("gateway.pkt_bytes"),
+		built:    reg.Counter("gateway.built"),
+		rejected: reg.Counter("gateway.rejected"),
+		expired:  reg.Counter("gateway.expired"),
+		resident: reg.Gauge("gateway.reservations"),
+		trace:    reg.Tracer("gateway.lifecycle", 0),
+	}
+	g.mu.RLock()
+	t.resident.Set(int64(len(g.byID)))
+	g.mu.RUnlock()
+	g.mon.SetGauge(reg.Gauge("monitor.flows"))
+	g.tel.Store(t)
 }
 
 // New builds a gateway for the AS.
@@ -92,7 +136,11 @@ func (g *Gateway) Install(res packet.ResInfo, eer packet.EERInfo, path []packet.
 		e.MonitorKbps = old.MonitorKbps
 	}
 	g.byID[res.ResID] = e
+	n := len(g.byID)
 	g.mu.Unlock()
+	if t := g.tel.Load(); t != nil {
+		t.resident.Set(int64(n))
+	}
 	// Pre-create the monitoring state so the per-packet path never
 	// allocates.
 	g.mon.Ensure(reservation.ID{SrcAS: g.srcAS, Num: res.ResID}, e.MonitorKbps, 0)
@@ -103,8 +151,12 @@ func (g *Gateway) Install(res packet.ResInfo, eer packet.EERInfo, path []packet.
 func (g *Gateway) Remove(resID uint32) {
 	g.mu.Lock()
 	delete(g.byID, resID)
+	n := len(g.byID)
 	g.mu.Unlock()
 	g.mon.Forget(reservation.ID{SrcAS: g.srcAS, Num: resID})
+	if t := g.tel.Load(); t != nil {
+		t.resident.Set(int64(n))
+	}
 }
 
 // Expire removes reservations whose current version has expired and returns
@@ -118,9 +170,19 @@ func (g *Gateway) Expire(nowSec uint32) int {
 			dropped = append(dropped, id)
 		}
 	}
+	n := len(g.byID)
 	g.mu.Unlock()
 	for _, id := range dropped {
 		g.mon.Forget(reservation.ID{SrcAS: g.srcAS, Num: id})
+	}
+	if t := g.tel.Load(); t != nil && len(dropped) > 0 {
+		t.expired.Add(uint64(len(dropped)))
+		t.resident.Set(int64(n))
+		nowNs := int64(nowSec) * 1e9
+		for _, id := range dropped {
+			t.trace.Record(nowNs, telemetry.EvEEExpire,
+				reservation.ID{SrcAS: g.srcAS, Num: id}.String(), true, "")
+		}
 	}
 	return len(dropped)
 }
@@ -165,14 +227,32 @@ func (g *Gateway) NewWorker() *Worker { return &Worker{g: g} }
 // on-path ASes, serialization. It returns the packet length.
 func (w *Worker) Build(resID uint32, payload []byte, out []byte, nowNs int64) (int, error) {
 	g := w.g
+	// Phase timing (lookup → token bucket → HVF+serialize) is enabled by
+	// EnableTelemetry; with tel == nil, Build performs no clock reads.
+	tel := g.tel.Load()
+	var phaseStart time.Time
+	if tel != nil {
+		phaseStart = time.Now()
+	}
 	g.mu.RLock()
 	e, ok := g.byID[resID]
 	g.mu.RUnlock()
 	if !ok {
+		if tel != nil {
+			tel.rejected.Inc()
+		}
 		return 0, fmt.Errorf("%w: %d", ErrUnknownRes, resID)
 	}
 	if uint32(nowNs/1e9) >= e.Res.ExpT {
+		if tel != nil {
+			tel.rejected.Inc()
+		}
 		return 0, fmt.Errorf("%w: %d", ErrExpired, resID)
+	}
+	if tel != nil {
+		now := time.Now()
+		tel.lookupNs.Observe(now.Sub(phaseStart).Nanoseconds())
+		phaseStart = now
 	}
 
 	pkt := &w.pkt
@@ -190,7 +270,16 @@ func (w *Worker) Build(resID uint32, payload []byte, out []byte, nowNs int64) (i
 	// Deterministic monitoring over the total packet size, all versions
 	// sharing the reservation's budget (§4.8).
 	id := reservation.ID{SrcAS: g.srcAS, Num: resID}
-	if !g.mon.Allow(id, e.MonitorKbps, uint32(n), nowNs) {
+	allowed := g.mon.Allow(id, e.MonitorKbps, uint32(n), nowNs)
+	if tel != nil {
+		now := time.Now()
+		tel.bucketNs.Observe(now.Sub(phaseStart).Nanoseconds())
+		phaseStart = now
+	}
+	if !allowed {
+		if tel != nil {
+			tel.rejected.Inc()
+		}
 		return 0, fmt.Errorf("%w: %d", ErrRateExceeded, resID)
 	}
 
@@ -205,5 +294,13 @@ func (w *Worker) Build(resID uint32, payload []byte, out []byte, nowNs int64) (i
 		cryptoutil.SigmaMAC(&w.ks, &e.auths[i], &w.macOut, &w.hvfIn)
 		copy(pkt.HVFs[i*packet.HVFLen:(i+1)*packet.HVFLen], w.macOut[:packet.HVFLen])
 	}
-	return pkt.SerializeTo(out)
+	sz, err := pkt.SerializeTo(out)
+	if tel != nil {
+		tel.hvfNs.Observe(time.Since(phaseStart).Nanoseconds())
+		if err == nil {
+			tel.built.Inc()
+			tel.pktBytes.Observe(int64(sz))
+		}
+	}
+	return sz, err
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"colibri/internal/reservation"
+	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 )
 
@@ -81,11 +82,24 @@ func (tb *TokenBucket) SetRate(rateKbps uint64) {
 type FlowMonitor struct {
 	mu    sync.Mutex
 	flows map[reservation.ID]*TokenBucket
+	// gauge, when set, mirrors len(flows); updated under mu.
+	gauge *telemetry.Gauge
 }
 
 // NewFlowMonitor builds an empty monitor.
 func NewFlowMonitor() *FlowMonitor {
 	return &FlowMonitor{flows: make(map[reservation.ID]*TokenBucket)}
+}
+
+// SetGauge attaches an occupancy gauge mirroring the number of tracked
+// flows; it is set immediately and then maintained by Allow/Ensure/Forget.
+func (m *FlowMonitor) SetGauge(g *telemetry.Gauge) {
+	m.mu.Lock()
+	m.gauge = g
+	if g != nil {
+		g.Set(int64(len(m.flows)))
+	}
+	m.mu.Unlock()
 }
 
 // Allow checks a packet of sizeBytes on the reservation against rateKbps,
@@ -96,6 +110,9 @@ func (m *FlowMonitor) Allow(id reservation.ID, rateKbps uint64, sizeBytes uint32
 	if !ok {
 		tb = NewTokenBucket(rateKbps, BurstBytesFor(rateKbps), nowNs)
 		m.flows[id] = tb
+		if m.gauge != nil {
+			m.gauge.Set(int64(len(m.flows)))
+		}
 	} else if wantRate := float64(rateKbps) * 1000 / 8 / 1e9; tb.rate != wantRate {
 		tb.SetRate(rateKbps)
 	}
@@ -112,6 +129,9 @@ func (m *FlowMonitor) Ensure(id reservation.ID, rateKbps uint64, nowNs int64) {
 		tb.SetRate(rateKbps)
 	} else {
 		m.flows[id] = NewTokenBucket(rateKbps, BurstBytesFor(rateKbps), nowNs)
+		if m.gauge != nil {
+			m.gauge.Set(int64(len(m.flows)))
+		}
 	}
 	m.mu.Unlock()
 }
@@ -120,6 +140,9 @@ func (m *FlowMonitor) Ensure(id reservation.ID, rateKbps uint64, nowNs int64) {
 func (m *FlowMonitor) Forget(id reservation.ID) {
 	m.mu.Lock()
 	delete(m.flows, id)
+	if m.gauge != nil {
+		m.gauge.Set(int64(len(m.flows)))
+	}
 	m.mu.Unlock()
 }
 

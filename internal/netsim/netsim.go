@@ -150,6 +150,12 @@ func NewScheduler(policy qos.Policy) *qos.Scheduler[*Packet] {
 // Drops returns the per-class tail-drop counters.
 func (p *Port) Drops() [qos.NumClasses]uint64 { return p.sched.Drops }
 
+// Name returns the port's name.
+func (p *Port) Name() string { return p.name }
+
+// QueuedBytes returns the bytes currently queued in one class.
+func (p *Port) QueuedBytes(c qos.Class) int { return p.sched.QueuedBytes(c) }
+
 // Send enqueues a packet for transmission; drops follow the scheduler's
 // per-class limits.
 func (p *Port) Send(pkt *Packet) {

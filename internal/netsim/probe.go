@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"fmt"
+
+	"colibri/internal/qos"
+	"colibri/internal/telemetry"
+)
+
+// Probe samples watched ports on virtual-time ticks into a telemetry
+// registry: delivered bytes become per-class counters, instantaneous queue
+// depths become per-class histograms (so queue-buildup percentiles come for
+// free), and drops become counters. Sampling runs inside the event loop, so
+// no synchronization with the (single-threaded) simulator is needed.
+type Probe struct {
+	sim      *Sim
+	reg      *telemetry.Registry
+	interval int64
+	ports    []*probePort
+}
+
+type probePort struct {
+	port      *Port
+	sent      [qos.NumClasses]*telemetry.Counter
+	drops     [qos.NumClasses]*telemetry.Counter
+	depth     [qos.NumClasses]*telemetry.Histogram
+	lastSent  [qos.NumClasses]uint64
+	lastDrops [qos.NumClasses]uint64
+}
+
+// NewProbe builds a probe sampling every intervalNs of virtual time.
+func NewProbe(sim *Sim, reg *telemetry.Registry, intervalNs int64) *Probe {
+	if intervalNs <= 0 {
+		intervalNs = 1e6 // 1 ms of virtual time
+	}
+	return &Probe{sim: sim, reg: reg, interval: intervalNs}
+}
+
+// Watch adds ports to the sampling set. Instruments are named
+// netsim.<port>.{sent_bytes,drop_pkts,queued_bytes}.<class>.
+func (p *Probe) Watch(ports ...*Port) {
+	for _, port := range ports {
+		pp := &probePort{port: port}
+		prefix := fmt.Sprintf("netsim.%s.", port.Name())
+		for c := qos.Class(0); c < qos.NumClasses; c++ {
+			pp.sent[c] = p.reg.Counter(prefix + "sent_bytes." + c.String())
+			pp.drops[c] = p.reg.Counter(prefix + "drop_pkts." + c.String())
+			pp.depth[c] = p.reg.Histogram(prefix + "queued_bytes." + c.String())
+		}
+		p.ports = append(p.ports, pp)
+	}
+}
+
+// Start schedules sampling ticks from the current virtual time until stopNs
+// (0 = keep sampling as long as other events keep the simulation alive; the
+// tick itself always stops at stopNs to avoid running the loop forever).
+func (p *Probe) Start(stopNs int64) {
+	var tick func()
+	tick = func() {
+		p.sample()
+		if stopNs > 0 && p.sim.Now()+p.interval > stopNs {
+			return
+		}
+		p.sim.After(p.interval, tick)
+	}
+	p.sim.After(p.interval, tick)
+}
+
+// sample records the delta of delivered/dropped bytes and the instantaneous
+// queue depths since the previous tick.
+func (p *Probe) sample() {
+	for _, pp := range p.ports {
+		drops := pp.port.Drops()
+		for c := qos.Class(0); c < qos.NumClasses; c++ {
+			if d := pp.port.Sent[c] - pp.lastSent[c]; d > 0 {
+				pp.sent[c].Add(d)
+				pp.lastSent[c] = pp.port.Sent[c]
+			}
+			if d := drops[c] - pp.lastDrops[c]; d > 0 {
+				pp.drops[c].Add(d)
+				pp.lastDrops[c] = drops[c]
+			}
+			pp.depth[c].Observe(int64(pp.port.QueuedBytes(c)))
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"colibri/internal/reservation"
+	"colibri/internal/telemetry"
 )
 
 // Config parameterizes the detector.
@@ -59,6 +60,33 @@ type Detector struct {
 	// suspicious accumulates flows flagged in the current window; drained
 	// by Suspicious().
 	suspicious map[reservation.ID]struct{}
+	// gauge, when set, mirrors len(suspicious); updated under mu.
+	gauge *telemetry.Gauge
+}
+
+// SetGauge attaches a gauge mirroring the number of currently flagged
+// (not yet drained) suspicious flows.
+func (d *Detector) SetGauge(g *telemetry.Gauge) {
+	d.mu.Lock()
+	d.gauge = g
+	if g != nil {
+		g.Set(int64(len(d.suspicious)))
+	}
+	d.mu.Unlock()
+}
+
+// Occupancy returns the fraction of nonzero sketch counters in the current
+// window — a load signal for sizing Depth×Width.
+func (d *Detector) Occupancy() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nz := 0
+	for _, c := range d.counters {
+		if c != 0 {
+			nz++
+		}
+	}
+	return float64(nz) / float64(len(d.counters))
 }
 
 // New builds a detector.
@@ -114,6 +142,9 @@ func (d *Detector) Record(id reservation.ID, normSize float64, nowNs int64) bool
 	}
 	if est > d.threshold {
 		d.suspicious[id] = struct{}{}
+		if d.gauge != nil {
+			d.gauge.Set(int64(len(d.suspicious)))
+		}
 		return true
 	}
 	return false
@@ -132,6 +163,9 @@ func (d *Detector) Suspicious() []reservation.ID {
 		out = append(out, id)
 	}
 	clear(d.suspicious)
+	if d.gauge != nil {
+		d.gauge.Set(0)
+	}
 	return out
 }
 

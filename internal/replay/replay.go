@@ -14,6 +14,8 @@ package replay
 import (
 	"math"
 	"sync"
+
+	"colibri/internal/telemetry"
 )
 
 // Config parameterizes the suppressor.
@@ -49,6 +51,30 @@ type Suppressor struct {
 	cur      *bloom
 	prev     *bloom
 	curStart int64
+	// curIns counts identifiers inserted into cur this window; an exact
+	// insert count (unlike a popcount over the filter) is free to maintain.
+	curIns int64
+	// gauge, when set, mirrors curIns; updated under mu.
+	gauge *telemetry.Gauge
+}
+
+// SetGauge attaches an occupancy gauge mirroring the number of identifiers
+// inserted into the current window's filter; it resets to zero on window
+// rotation.
+func (s *Suppressor) SetGauge(g *telemetry.Gauge) {
+	s.mu.Lock()
+	s.gauge = g
+	if g != nil {
+		g.Set(s.curIns)
+	}
+	s.mu.Unlock()
+}
+
+// Inserted returns the number of identifiers recorded in the current window.
+func (s *Suppressor) Inserted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curIns
 }
 
 // New builds a suppressor.
@@ -79,11 +105,19 @@ func (s *Suppressor) FreshAndUnique(id uint64, nowNs int64) bool {
 		}
 		s.cur.reset()
 		s.curStart = nowNs
+		s.curIns = 0
+		if s.gauge != nil {
+			s.gauge.Set(0)
+		}
 	}
 	if s.cur.test(id) || s.prev.test(id) {
 		return false
 	}
 	s.cur.add(id)
+	s.curIns++
+	if s.gauge != nil {
+		s.gauge.Set(s.curIns)
+	}
 	return true
 }
 

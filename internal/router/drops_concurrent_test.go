@@ -1,0 +1,117 @@
+package router
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"colibri/internal/packet"
+	"colibri/internal/telemetry"
+)
+
+// TestDropsConcurrent hammers Process from several workers while other
+// goroutines read Drops()/DropTotal(), the regression test for the drop
+// accounting race (run with -race): counts must be monotone under
+// observation and exact at the end.
+func TestDropsConcurrent(t *testing.T) {
+	n := newTestnet(t, func(i int, cfg *Config) {
+		if i == 2 {
+			cfg.Telemetry = telemetry.NewRegistry("test")
+		}
+	})
+	// The last-hop router delivers without mutating the buffer, so all
+	// workers can share one packet set.
+	rt := n.routers[2]
+
+	good := n.buildPacket(t, nil, baseNs)
+	packet.SetCurrHopInPlace(good, 2)
+	badHVF := append([]byte(nil), good...)
+	var pkt packet.Packet
+	if _, err := pkt.DecodeFromBytes(badHVF); err != nil {
+		t.Fatal(err)
+	}
+	pkt.HVF(2)[0] ^= 0x01 // aliases badHVF
+	garbage := []byte{0xFF, 0x01}
+
+	const writers = 4
+	const iters = 2000
+
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			w := rt.NewWorker()
+			for i := 0; i < iters; i++ {
+				if _, err := w.Process(good, baseNs); err != nil {
+					t.Errorf("good packet: %v", err)
+					return
+				}
+				if _, err := w.Process(badHVF, baseNs); !errors.Is(err, ErrBadHVF) {
+					t.Errorf("bad HVF: %v", err)
+					return
+				}
+				if _, err := w.Process(garbage, baseNs); !errors.Is(err, ErrDecode) {
+					t.Errorf("garbage: %v", err)
+					return
+				}
+				if _, err := w.Process(good, baseNs+2*DefaultFreshnessNs); !errors.Is(err, ErrStale) {
+					t.Errorf("stale: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var readersWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			var lastTotal uint64
+			var lastHVF uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if tot := rt.DropTotal(); tot < lastTotal {
+					t.Errorf("DropTotal went backwards: %d -> %d", lastTotal, tot)
+					return
+				} else {
+					lastTotal = tot
+				}
+				if hvf := rt.Drops()[ErrBadHVF.Error()]; hvf < lastHVF {
+					t.Errorf("bad-HVF count went backwards: %d -> %d", lastHVF, hvf)
+					return
+				} else {
+					lastHVF = hvf
+				}
+			}
+		}()
+	}
+
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	drops := rt.Drops()
+	want := uint64(writers * iters)
+	for _, c := range []struct {
+		key  string
+		want uint64
+	}{
+		{ErrBadHVF.Error(), want},
+		{ErrDecode.Error(), want},
+		{ErrStale.Error(), want},
+	} {
+		if got := drops[c.key]; got != c.want {
+			t.Errorf("drops[%q] = %d, want %d", c.key, got, c.want)
+		}
+	}
+	if tot := rt.DropTotal(); tot != 3*want {
+		t.Errorf("DropTotal = %d, want %d", tot, 3*want)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"colibri/internal/packet"
 	"colibri/internal/replay"
 	"colibri/internal/reservation"
+	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 )
 
@@ -49,6 +50,7 @@ type Verdict struct {
 
 // Drop reasons.
 var (
+	ErrDecode     = errors.New("router: packet decode failed")
 	ErrBadHVF     = errors.New("router: hop validation field mismatch")
 	ErrExpired    = errors.New("router: reservation expired")
 	ErrStale      = errors.New("router: packet timestamp outside freshness window")
@@ -58,6 +60,35 @@ var (
 	ErrBadHop     = errors.New("router: packet's current hop does not belong here")
 	ErrBestEffort = errors.New("router: not a reservation-validated packet")
 )
+
+// DropReason indexes the router's per-reason drop counters.
+type DropReason uint8
+
+// Drop reason indices, in protection-stack order.
+const (
+	DropDecode DropReason = iota
+	DropExpired
+	DropStale
+	DropBlocked
+	DropBadHVF
+	DropReplay
+	DropOveruse
+	DropBestEffort
+	numDropReasons
+)
+
+// dropErrs maps each reason to its canonical error; Drops() keys are these
+// errors' messages, preserving the shape of the old map-based API.
+var dropErrs = [numDropReasons]error{
+	DropDecode:     ErrDecode,
+	DropExpired:    ErrExpired,
+	DropStale:      ErrStale,
+	DropBlocked:    ErrBlocked,
+	DropBadHVF:     ErrBadHVF,
+	DropReplay:     ErrReplay,
+	DropOveruse:    ErrOveruse,
+	DropBestEffort: ErrBestEffort,
+}
 
 // DefaultFreshnessNs tolerates the paper's ±0.1 s clock skew plus queueing.
 const DefaultFreshnessNs = 500 * 1e6
@@ -84,6 +115,12 @@ type Config struct {
 	// reservations are policed by the token bucket. Default false:
 	// confirmed overuse blocks the source AS.
 	PoliceOnly bool
+	// Telemetry attaches the router's instruments to an AS-wide registry
+	// and enables the optional processed-packets counter and the
+	// drop-verdict tracer. When nil the router still keeps its per-reason
+	// drop counters (served by Drops) but adds no per-packet work on the
+	// forwarding path.
+	Telemetry *telemetry.Registry
 }
 
 // Router is one AS's border-router state shared across workers.
@@ -103,12 +140,25 @@ type Router struct {
 	watch   map[reservation.ID]struct{}
 	detMon  *monitor.FlowMonitor
 
-	// Stats counts processing outcomes (atomic access via mutex-free
-	// increments is avoided; Stats are maintained per worker and merged on
-	// demand would complicate the API — a mutex on drops only is cheap
-	// relative to drop handling).
-	statsMu sync.Mutex
-	drops   map[string]uint64
+	// drops counts processing outcomes per reason. Sharded lock-free
+	// counters let drop accounting and Drops() readers proceed without a
+	// shared mutex; readers see each counter via an atomic load, so a
+	// Drops() copy is consistent (no torn values) under concurrent Process
+	// calls.
+	drops [numDropReasons]*telemetry.Counter
+
+	// hot holds the optional per-packet instruments (nil when no telemetry
+	// registry is configured, keeping the forwarding path increment-free).
+	hot *routerHot
+}
+
+// routerHot bundles the per-packet instruments behind one nil check. Only
+// `processed` is bumped per packet: forwarded = processed − drops is an
+// invariant of Process, so Forwarded() derives it instead of paying a
+// second atomic add on the hot path.
+type routerHot struct {
+	processed *telemetry.Counter
+	trace     *telemetry.Tracer
 }
 
 // New builds a Router.
@@ -119,7 +169,7 @@ func New(cfg Config) *Router {
 	if cfg.Blocklist == nil {
 		cfg.Blocklist = monitor.NewBlocklist()
 	}
-	return &Router{
+	r := &Router{
 		ia:          cfg.IA,
 		secret:      cfg.Secret,
 		freshnessNs: cfg.FreshnessNs,
@@ -130,7 +180,44 @@ func New(cfg Config) *Router {
 		policeOnly:  cfg.PoliceOnly,
 		watch:       make(map[reservation.ID]struct{}),
 		detMon:      monitor.NewFlowMonitor(),
-		drops:       make(map[string]uint64),
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		for reason := range r.drops {
+			r.drops[reason] = reg.Counter("router.drop." + dropSlug(DropReason(reason)))
+		}
+		r.hot = &routerHot{
+			processed: reg.Counter("router.processed"),
+			trace:     reg.Tracer("router.drops", 0),
+		}
+	} else {
+		for reason := range r.drops {
+			r.drops[reason] = telemetry.NewCounter()
+		}
+	}
+	return r
+}
+
+// dropSlug names a drop reason for registry instruments.
+func dropSlug(reason DropReason) string {
+	switch reason {
+	case DropDecode:
+		return "decode"
+	case DropExpired:
+		return "expired"
+	case DropStale:
+		return "stale"
+	case DropBlocked:
+		return "blocked"
+	case DropBadHVF:
+		return "bad_hvf"
+	case DropReplay:
+		return "replay"
+	case DropOveruse:
+		return "overuse"
+	case DropBestEffort:
+		return "best_effort"
+	default:
+		return "other"
 	}
 }
 
@@ -155,30 +242,56 @@ func (r *Router) Unwatch(id reservation.ID) {
 	r.detMon.Forget(id)
 }
 
-// Drops returns a copy of the drop counters by reason.
+// Drops returns a copy of the drop counters, keyed by the canonical reason
+// message (e.g. ErrBadHVF.Error()). Reasons never observed are omitted.
+// Each value is an atomic read of a monotone counter, so the copy is
+// consistent under concurrent Process calls.
 func (r *Router) Drops() map[string]uint64 {
-	r.statsMu.Lock()
-	defer r.statsMu.Unlock()
 	out := make(map[string]uint64, len(r.drops))
-	for k, v := range r.drops {
-		out[k] = v
+	for reason, c := range r.drops {
+		if v := c.Value(); v > 0 {
+			out[dropErrs[reason].Error()] = v
+		}
 	}
 	return out
 }
 
-func (r *Router) countDrop(err error) {
-	r.statsMu.Lock()
-	r.drops[rootMsg(err)]++
-	r.statsMu.Unlock()
+// DropTotal returns the total number of dropped packets across reasons.
+func (r *Router) DropTotal() uint64 {
+	var sum uint64
+	for _, c := range r.drops {
+		sum += c.Value()
+	}
+	return sum
 }
 
-func rootMsg(err error) string {
-	for {
-		u := errors.Unwrap(err)
-		if u == nil {
-			return err.Error()
+// Forwarded returns the number of packets that passed validation (every
+// Process call either drops once or reaches the forwarding decision, so
+// forwarded = processed − drops). Zero unless telemetry is enabled.
+func (r *Router) Forwarded() uint64 {
+	if r.hot == nil {
+		return 0
+	}
+	p, d := r.hot.processed.Value(), r.DropTotal()
+	if d > p {
+		// A drop between the two reads; clamp rather than underflow.
+		return 0
+	}
+	return p - d
+}
+
+// countDrop accounts one dropped packet and, when tracing is enabled,
+// records the verdict. decoded tells whether w.pkt holds valid reservation
+// info for the trace (false on decode failures).
+func (w *Worker) countDrop(reason DropReason, nowNs int64, decoded bool) {
+	r := w.r
+	r.drops[reason].Inc()
+	if r.hot != nil {
+		res := ""
+		if decoded {
+			res = reservation.ID{SrcAS: w.pkt.Res.SrcAS, Num: w.pkt.Res.ResID}.String()
 		}
-		err = u
+		r.hot.trace.Record(nowNs, telemetry.EvDrop, res, false, dropSlug(reason))
 	}
 }
 
@@ -206,10 +319,13 @@ func (r *Router) NewWorker() *Worker {
 // wrapped reason error.
 func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 	r := w.r
+	if r.hot != nil {
+		r.hot.processed.Inc()
+	}
 	pkt := &w.pkt
 	if _, err := pkt.DecodeFromBytes(buf); err != nil {
-		r.countDrop(err)
-		return Verdict{Action: ADrop}, err
+		w.countDrop(DropDecode, nowNs, false)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: %v", ErrDecode, err)
 	}
 	idx := int(pkt.CurrHop)
 	hop := pkt.Path[idx]
@@ -217,17 +333,17 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 	// Expiry and freshness (§4.6: "checks whether the reservation has not
 	// expired yet" and "packet freshness").
 	if uint32(nowNs/1e9) >= pkt.Res.ExpT {
-		r.countDrop(ErrExpired)
+		w.countDrop(DropExpired, nowNs, true)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: at %d", ErrExpired, pkt.Res.ExpT)
 	}
 	delta := nowNs - int64(pkt.Ts)
 	if delta < -r.freshnessNs || delta > r.freshnessNs {
-		r.countDrop(ErrStale)
+		w.countDrop(DropStale, nowNs, true)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: delta %d ns", ErrStale, delta)
 	}
 	// Blocklist (§4.8: "keeping a list of blocked source ASes").
 	if r.blocklist.Blocked(pkt.Res.SrcAS, uint32(nowNs/1e9)) {
-		r.countDrop(ErrBlocked)
+		w.countDrop(DropBlocked, nowNs, true)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrBlocked, pkt.Res.SrcAS)
 	}
 
@@ -242,7 +358,7 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 		packet.HVFInput(&w.hvfIn, pkt.Ts, uint32(len(buf)))
 		cryptoutil.SigmaMAC(&w.ks, &w.sigma, &w.macOut, &w.hvfIn)
 		if !cryptoutil.ConstantTimeEqual(w.macOut[:packet.HVFLen], pkt.HVF(idx)) {
-			r.countDrop(ErrBadHVF)
+			w.countDrop(DropBadHVF, nowNs, true)
 			return Verdict{Action: ADrop}, ErrBadHVF
 		}
 	case packet.TSegRenewReq, packet.TEESetupReq, packet.TResponse:
@@ -250,14 +366,14 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 		packet.SegAuthInput(&w.segIn, &pkt.Res, hop)
 		w.cbc.SumInto(&w.macOut, w.segIn[:])
 		if !cryptoutil.ConstantTimeEqual(w.macOut[:packet.HVFLen], pkt.HVF(idx)) {
-			r.countDrop(ErrBadHVF)
+			w.countDrop(DropBadHVF, nowNs, true)
 			return Verdict{Action: ADrop}, ErrBadHVF
 		}
 	case packet.TSegSetupReq:
 		// Initial SegR setup requests arrive as best-effort traffic and are
 		// authenticated at the CServ (§5.3); the router only forwards them.
 	default:
-		r.countDrop(ErrBestEffort)
+		w.countDrop(DropBestEffort, nowNs, true)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: type %v", ErrBestEffort, pkt.Type)
 	}
 
@@ -267,7 +383,7 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 	// discarded").
 	if r.replay != nil && pkt.Type == packet.TData {
 		if !r.replay.FreshAndUnique(replay.PacketID(uint64(pkt.Res.SrcAS), pkt.Res.ResID, pkt.Ts), nowNs) {
-			r.countDrop(ErrReplay)
+			w.countDrop(DropReplay, nowNs, true)
 			return Verdict{Action: ADrop}, ErrReplay
 		}
 	}
@@ -298,7 +414,7 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 					r.onOveruse(id)
 				}
 			}
-			r.countDrop(ErrOveruse)
+			w.countDrop(DropOveruse, nowNs, true)
 			return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrOveruse, id)
 		}
 	}

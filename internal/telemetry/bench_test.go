@@ -1,0 +1,61 @@
+package telemetry
+
+import "testing"
+
+// The instrument micro-benchmarks back the "≤ a few ns per hot-path event"
+// budget of DESIGN.md §4; BenchmarkTelemetryOverhead at the repo root
+// measures the same instruments embedded in the router and gateway paths.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	g := NewGauge()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xFFFF))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(int64(i & 0xFFFF))
+			i++
+		}
+	})
+}
+
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(int64(i), EvDrop, "1-11/1", false, "replay")
+	}
+}

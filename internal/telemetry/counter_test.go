@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+// TestCounterConcurrent checks that concurrent sharded increments are all
+// accounted and that concurrent reads are monotone (run with -race).
+func TestCounterConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 10_000
+	c := NewCounter()
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last uint64
+			for {
+				v := c.Value()
+				if v < last {
+					t.Errorf("Value went backwards: %d then %d", last, v)
+					return
+				}
+				last = v
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("Value = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestGaugeAddSetValue(t *testing.T) {
+	g := NewGauge()
+	g.Add(10)
+	g.Dec()
+	g.Inc()
+	if got := g.Value(); got != 10 {
+		t.Fatalf("Value = %d, want 10", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("after Set: Value = %d, want -3", got)
+	}
+	g.Add(5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("after Set+Add: Value = %d, want 2", got)
+	}
+}
+
+func TestGaugeConcurrentUpDown(t *testing.T) {
+	g := NewGauge()
+	const workers, rounds = 8, 5_000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("balanced inc/dec left Value = %d", got)
+	}
+}

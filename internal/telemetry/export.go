@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// WriteJSON renders one or more snapshots as an indented JSON array (a
+// single object when exactly one snapshot is given).
+func WriteJSON(w io.Writer, snaps ...Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if len(snaps) == 1 {
+		return enc.Encode(snaps[0])
+	}
+	return enc.Encode(snaps)
+}
+
+// WriteText renders snapshots as aligned, sorted human-readable tables:
+// counters and gauges one per line, histograms as summary statistics
+// (count, mean, p50/p95/p99, max), traces as their retained events.
+// Instruments with no activity (zero counters, empty histograms) are
+// skipped so the report stays readable.
+func WriteText(w io.Writer, snaps ...Snapshot) error {
+	for i, s := range snaps {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := writeTextOne(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTextOne(w io.Writer, s Snapshot) error {
+	if _, err := fmt.Fprintf(w, "== telemetry: %s ==\n", s.Label); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, name := range sortedKeys(s.Counters) {
+		if s.Counters[name] == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "counter\t%s\t%d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(tw, "gauge\t%s\t%d\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "histogram\t%s\tcount=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d\n",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(s.Traces) {
+		evs := s.Traces[name]
+		if len(evs) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "trace %s (last %d):\n", name, len(evs)); err != nil {
+			return err
+		}
+		for _, e := range evs {
+			if _, err := fmt.Fprintf(w, "  %s\n", e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestHistogramBucketBoundaries pins the bucket mapping: bucket 0 is v ≤ 0,
+// bucket i covers [2^(i-1), 2^i).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1025, 11}, {1 << 40, 41}, {1<<62 + 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(1024)
+	s := h.Snapshot()
+	if s.Count != 4 || s.Buckets[0] != 1 || s.Buckets[1] != 2 || s.Buckets[11] != 1 {
+		t.Fatalf("unexpected snapshot %+v", s)
+	}
+	if s.Sum != 1026 || s.Max != 1024 {
+		t.Fatalf("sum/max = %d/%d, want 1026/1024", s.Sum, s.Max)
+	}
+}
+
+// TestHistogramQuantileOracle (testing/quick) checks every estimated
+// quantile against a sorted-sample oracle: the estimate must fall within
+// the log₂ bucket of the true sample quantile (the histogram's guaranteed
+// resolution), and p0 ≤ p50 ≤ p100.
+func TestHistogramQuantileOracle(t *testing.T) {
+	property := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%512) + 1
+		h := NewHistogram()
+		samples := make([]int64, n)
+		for i := range samples {
+			// Mix scales so several buckets fill.
+			v := rng.Int63n(1 << uint(1+rng.Intn(30)))
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s := h.Snapshot()
+		qs := []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1}
+		prev := -1.0
+		for _, q := range qs {
+			est := s.Quantile(q)
+			if est < prev {
+				t.Logf("quantiles not monotone: q=%v est=%v prev=%v", q, est, prev)
+				return false
+			}
+			prev = est
+			// Oracle: the true sample at rank ceil(q·n).
+			rank := int(q*float64(n)+0.9999999) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			if rank >= n {
+				rank = n - 1
+			}
+			truth := samples[rank]
+			b := bucketOf(truth)
+			var lo, hi float64
+			if b == 0 {
+				lo, hi = 0, 0
+			} else {
+				lo = float64(uint64(1) << (b - 1))
+				hi = lo * 2
+			}
+			if est < lo || est > hi {
+				t.Logf("q=%v: est %v outside bucket [%v,%v] of true %d", q, est, lo, hi, truth)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeSubAssociative checks the snapshot algebra: Merge is
+// associative and commutative, and Sub undoes Merge.
+func TestHistogramMergeSubAssociative(t *testing.T) {
+	mk := func(seed int64, n int) HistSnapshot {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Int63n(1 << 20))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(1, 100), mk(2, 57), mk(3, 211)
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if left != right {
+		t.Fatal("Merge is not associative")
+	}
+	if a.Merge(b) != b.Merge(a) {
+		t.Fatal("Merge is not commutative")
+	}
+	undone := a.Merge(b).Sub(a)
+	// Sub keeps the merged Max (documented); compare the rest.
+	undone.Max = b.Max
+	if undone != b {
+		t.Fatalf("Sub did not undo Merge:\n got %+v\nwant %+v", undone, b)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 5_000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(int64(i*per + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Max != workers*per-1 {
+		t.Fatalf("Max = %d, want %d", s.Max, workers*per-1)
+	}
+}
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var s HistSnapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry("as 1-11")
+	if r.Label() != "as 1-11" {
+		t.Fatalf("Label = %q", r.Label())
+	}
+	c1 := r.Counter("router.processed")
+	c2 := r.Counter("router.processed")
+	if c1 != c2 {
+		t.Fatal("Counter lookup is not stable")
+	}
+	if r.Gauge("gw.resident") != r.Gauge("gw.resident") {
+		t.Fatal("Gauge lookup is not stable")
+	}
+	if r.Histogram("gw.hvf_ns") != r.Histogram("gw.hvf_ns") {
+		t.Fatal("Histogram lookup is not stable")
+	}
+	if r.Tracer("lifecycle", 16) != r.Tracer("lifecycle", 32) {
+		t.Fatal("Tracer lookup is not stable")
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry("x")
+	c := r.Counter("events")
+	g := r.Gauge("level")
+	h := r.Histogram("lat")
+	tr := r.Tracer("trace", 8)
+
+	c.Add(10)
+	g.Set(3)
+	h.Observe(100)
+	tr.Record(1, EvSegSetup, "a", true, "")
+	before := r.Snapshot()
+
+	c.Add(5)
+	g.Set(7)
+	h.Observe(200)
+	h.Observe(300)
+	tr.Record(2, EvSegRenew, "a", true, "")
+	after := r.Snapshot()
+
+	d := after.Diff(before)
+	if d.Counters["events"] != 5 {
+		t.Fatalf("diff counter = %d, want 5", d.Counters["events"])
+	}
+	if d.Gauges["level"] != 7 {
+		t.Fatalf("diff gauge = %d, want current level 7", d.Gauges["level"])
+	}
+	if d.Histograms["lat"].Count != 2 {
+		t.Fatalf("diff histogram count = %d, want 2", d.Histograms["lat"].Count)
+	}
+	if len(d.Traces["trace"]) != 1 || d.Traces["trace"][0].Kind != EvSegRenew {
+		t.Fatalf("diff trace = %+v", d.Traces["trace"])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry("as 2-11")
+	r.Counter("drops").Add(3)
+	r.Histogram("sz").Observe(512)
+	r.Tracer("lc", 4).Record(9, EvEESetup, "2-11/7", false, "rate limited")
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Label != "as 2-11" || back.Counters["drops"] != 3 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Histograms["sz"].Count != 1 || back.Traces["lc"][0].Detail != "rate limited" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	// Multiple snapshots encode as an array.
+	buf.Reset()
+	if err := WriteJSON(&buf, r.Snapshot(), r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var many []Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &many); err != nil || len(many) != 2 {
+		t.Fatalf("array round trip: err=%v n=%d", err, len(many))
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry("as 1-2")
+	r.Counter("router.drop.bad_hvf").Add(12)
+	r.Counter("router.drop.stale") // zero: must be skipped
+	r.Gauge("monitor.flows").Set(4)
+	for i := int64(1); i <= 100; i++ {
+		r.Histogram("gateway.hvf_ns").Observe(i * 10)
+	}
+	r.Tracer("cserv.lifecycle", 8).Record(42, EvSegActivate, "1-2/1", true, "")
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"telemetry: as 1-2",
+		"router.drop.bad_hvf",
+		"monitor.flows",
+		"gateway.hvf_ns",
+		"count=100",
+		"seg-activate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "router.drop.stale") {
+		t.Errorf("zero counter should be skipped:\n%s", out)
+	}
+}

@@ -1,0 +1,152 @@
+// Package telemetry is the unified, low-overhead observability substrate of
+// this Colibri implementation: sharded lock-free counters and gauges for the
+// router/gateway hot paths, log₂-bucketed histograms for latency and size
+// distributions, a ring-buffer tracer for reservation-lifecycle events, and
+// a per-AS registry with snapshot/diff and JSON + aligned-text exporters.
+//
+// Design constraints (see DESIGN.md §4):
+//
+//   - Hot-path instruments must cost no more than a few nanoseconds per
+//     event and never allocate. Counters and gauges are therefore arrays of
+//     cache-line-padded atomics; a writer picks its shard from a cheap hash
+//     of a stack address, which differs across goroutine stacks, so
+//     concurrent workers do not contend on one cache line.
+//   - Everything is stdlib-only and works with virtual clocks: instruments
+//     never read the wall clock themselves; callers pass timestamps where
+//     one is needed (the tracer).
+//   - Reads (Value, Snapshot) are wait-free with respect to writers and may
+//     observe a value mid-update only in the sense that concurrent
+//     increments are linearized per shard; sums are monotone for counters.
+package telemetry
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// shardCount is the number of shards per counter/gauge: the smallest power
+// of two covering GOMAXPROCS at init, capped so that one instrument stays
+// small (32 shards × 128 B = 4 KiB).
+var shardCount = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 32 {
+		n = 32
+	}
+	if n < 1 {
+		n = 1
+	}
+	// Round up to a power of two so shard selection is a mask.
+	return 1 << bits.Len(uint(n-1))
+}()
+
+// paddedU64 occupies two cache lines so neighbouring shards never share one
+// (64-byte lines, and the adjacent-line prefetcher pulls pairs).
+type paddedU64 struct {
+	v atomic.Uint64
+	_ [120]byte
+}
+
+// paddedI64 is the signed twin for gauges.
+type paddedI64 struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// shardHint returns a per-goroutine-ish shard index: the address of a stack
+// variable differs across goroutine stacks (and is stable enough within
+// one), so concurrent writers spread over shards without any registration.
+// The value is mixed so that allocation-order regularities in stack bases
+// do not collapse everything into one shard. It never allocates.
+func shardHint() uint64 {
+	var b byte
+	p := uint64(uintptr(unsafe.Pointer(&b)))
+	p ^= p >> 17
+	p *= 0x9E3779B97F4A7C15
+	return p >> 56
+}
+
+// Counter is a monotone sum, sharded across padded atomics. The zero value
+// is not usable; create with NewCounter or Registry.Counter.
+type Counter struct {
+	shards []paddedU64
+	mask   uint64
+}
+
+// NewCounter builds a standalone counter (instruments owned by a Registry
+// are created through it instead, so they appear in snapshots).
+func NewCounter() *Counter {
+	return &Counter{shards: make([]paddedU64, shardCount), mask: uint64(shardCount - 1)}
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c.mask == 0 {
+		// Single shard (single-P runtime): skip the shard hash entirely —
+		// this keeps Add at the cost of one uncontended atomic add.
+		c.shards[0].v.Add(n)
+		return
+	}
+	c.shards[shardHint()&c.mask].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current sum across shards. Concurrent Adds may or may
+// not be included; successive Values never decrease.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a last-value-wins instrument for levels (occupancy, queue depth)
+// with sharded Add/Inc/Dec for concurrent up-down counting. Set overwrites
+// the whole gauge; mixing Set with concurrent Add is approximate (a Set
+// zeroes the other shards non-atomically), which is acceptable for the
+// sampled occupancy gauges it exists for. The zero value is not usable.
+type Gauge struct {
+	shards []paddedI64
+	mask   uint64
+}
+
+// NewGauge builds a standalone gauge.
+func NewGauge() *Gauge {
+	return &Gauge{shards: make([]paddedI64, shardCount), mask: uint64(shardCount - 1)}
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g.mask == 0 {
+		g.shards[0].v.Add(delta)
+		return
+	}
+	g.shards[shardHint()&g.mask].v.Add(delta)
+}
+
+// Inc increases the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decreases the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set overwrites the gauge with v.
+func (g *Gauge) Set(v int64) {
+	g.shards[0].v.Store(v)
+	for i := 1; i < len(g.shards); i++ {
+		g.shards[i].v.Store(0)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	var sum int64
+	for i := range g.shards {
+		sum += g.shards[i].v.Load()
+	}
+	return sum
+}

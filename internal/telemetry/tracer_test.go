@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(int64(i), EvSegSetup, "1-11/1", true, "")
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq || e.TimeNs != int64(wantSeq) {
+			t.Fatalf("event %d = %+v, want seq %d", i, e, wantSeq)
+		}
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(0) // default capacity
+	tr.Record(5, EvDrop, "", false, "router: hop validation field mismatch")
+	tr.Record(6, EvEESetup, "1-11/2", true, "")
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != EvDrop || evs[1].Kind != EvEESetup {
+		t.Fatalf("events = %+v", evs)
+	}
+	if !strings.Contains(evs[0].String(), "FAIL") || !strings.Contains(evs[0].String(), "mismatch") {
+		t.Fatalf("String() = %q", evs[0])
+	}
+	if !strings.Contains(evs[1].String(), "ok") {
+		t.Fatalf("String() = %q", evs[1])
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	const workers, per = 8, 1_000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				tr.Record(int64(j), EvEERenew, "1-11/9", true, "")
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			evs := tr.Events()
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq != evs[i-1].Seq+1 {
+					t.Errorf("non-contiguous seqs: %d then %d", evs[i-1].Seq, evs[i].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if tr.Total() != workers*per {
+		t.Fatalf("Total = %d, want %d", tr.Total(), workers*per)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EvSegSetup, EvSegRenew, EvSegActivate, EvEESetup, EvEERenew, EvEEExpire, EvDrop}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "event(") || seen[s] {
+			t.Fatalf("bad or duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+}
