@@ -1,6 +1,9 @@
 package cryptoutil
 
-import "encoding/binary"
+import (
+	"crypto/cipher"
+	"encoding/binary"
+)
 
 // Allocation-free AES-128 for the data-plane hot path.
 //
@@ -131,4 +134,24 @@ func EncryptAES128(ks *AESSchedule, dst, src *[16]byte) {
 func SigmaMAC(ks *AESSchedule, sigma *Key, mac *[MACSize]byte, block *[16]byte) {
 	ExpandAES128(ks, sigma)
 	EncryptAES128(ks, mac, block)
+}
+
+// AESSchedule implements cipher.Block (encryption only), so an expanded
+// software schedule and a crypto/aes cipher are interchangeable behind
+// the interface — the tiered SchedCache hands out either.
+var _ cipher.Block = (*AESSchedule)(nil)
+
+// BlockSize implements cipher.Block.
+func (ks *AESSchedule) BlockSize() int { return 16 }
+
+// Encrypt implements cipher.Block; dst and src must be at least 16 bytes.
+func (ks *AESSchedule) Encrypt(dst, src []byte) {
+	EncryptAES128(ks, (*[16]byte)(dst), (*[16]byte)(src))
+}
+
+// Decrypt implements cipher.Block. The data plane only ever encrypts (the
+// CBC-MAC and HVF computations run AES forward), so no decryption
+// schedule is kept.
+func (ks *AESSchedule) Decrypt(dst, src []byte) {
+	panic("cryptoutil: AESSchedule is encrypt-only")
 }

@@ -35,6 +35,12 @@ const (
 	// allowance of freshly watched flows does not inflate phase-3 rates.
 	t2WarmNs    = int64(150e6)
 	t2MeasureNs = int64(400e6)
+	// t2Burst coalesces same-link same-tick transmissions so the
+	// simulation drives the batched data-plane APIs (Worker.ProcessBatch)
+	// and the event heap shrinks by the burst factor. Rates are
+	// burst-invariant: sources stretch the tick interval, ports sum
+	// serialization times.
+	t2Burst = 8
 )
 
 // stamper builds authentic Colibri packets for one reservation directly
@@ -42,24 +48,32 @@ const (
 // ASes; in phase 3 it deliberately exceeds the reservation, modelling a
 // source AS that fails its monitoring duty).
 type stamper struct {
-	res   packet.ResInfo
-	eer   packet.EERInfo
-	path  []packet.HopField
-	auths []cryptoutil.Key
-	seq   uint64
-	label string
-	valid bool // false: random HVFs (unauthentic Colibri traffic)
-	rng   *rand.Rand
+	res    packet.ResInfo
+	eer    packet.EERInfo
+	path   []packet.HopField
+	auths  []cryptoutil.Key
+	seq    uint64
+	lastTs uint64
+	label  string
+	valid  bool // false: random HVFs (unauthentic Colibri traffic)
+	rng    *rand.Rand
 }
 
 func (s *stamper) make(nowNs int64) *netsim.Packet {
+	// Ts must be unique per source even when a burst of packets is
+	// stamped on the same virtual tick.
+	ts := uint64(nowNs)
+	if ts <= s.lastTs {
+		ts = s.lastTs + 1
+	}
+	s.lastTs = ts
 	s.seq++
 	pkt := packet.Packet{
 		Type:    packet.TData,
 		CurrHop: 1, // validated at the router under test
 		Res:     s.res,
 		EER:     s.eer,
-		Ts:      uint64(nowNs), // sources emit ≥800 ns apart: unique per source
+		Ts:      ts,
 		Path:    s.path,
 		HVFs:    make([]byte, len(s.path)*packet.HVFLen),
 	}
@@ -172,6 +186,7 @@ func runT2Phase(ph t2Phase) *netsim.Counter {
 
 	sink := netsim.NewCounter()
 	outPort := netsim.NewPort(sim, "out", t2LinkKbps, 0, qos.StrictPriority, sink, 0)
+	outPort.SetBurst(t2Burst)
 	if telemetryReg != nil {
 		probe := netsim.NewProbe(sim, telemetryReg, 1e6)
 		probe.Watch(outPort)
@@ -179,14 +194,9 @@ func runT2Phase(ph t2Phase) *netsim.Counter {
 	}
 
 	// The router node: validate Colibri packets, classify, enqueue.
-	routerNode := netsim.NodeFunc(func(pkt *netsim.Packet, _ int) {
-		if pkt.Class == qos.ClassEER {
-			if _, err := worker.Process(pkt.Header, workload.EpochNs+sim.Now()); err != nil {
-				return // dropped: unauthentic, overuse, …
-			}
-		}
-		outPort.Send(pkt)
-	})
+	// Bursts arriving via ReceiveBatch run through the batched validation
+	// pipeline (Worker.ProcessBatch).
+	routerNode := &t2RouterNode{worker: worker, sim: sim, out: outPort}
 
 	st1 := newStamper(secret, 1, t2Res1Kbps, "res1", true, rng)
 	st2 := newStamper(secret, 2, t2Res2Kbps, "res2", true, rng)
@@ -203,7 +213,7 @@ func runT2Phase(ph t2Phase) *netsim.Counter {
 		(&netsim.Source{
 			Sim: sim, Dst: routerNode, DstPort: port,
 			RateKbps: rate, PktBytes: t2PktBytes, StopNs: t2WarmNs + t2MeasureNs,
-			Make: mk,
+			Make: mk, Burst: t2Burst,
 		}).Start(0)
 	}
 	addSrc(0, ph.res1Rate, func() *netsim.Packet { return st1.make(workload.EpochNs + sim.Now()) })
@@ -218,6 +228,56 @@ func runT2Phase(ph t2Phase) *netsim.Counter {
 	sink.Reset()
 	sim.Run(t2WarmNs + t2MeasureNs)
 	return sink
+}
+
+// t2RouterNode is the router under test as a simulator node: Colibri
+// packets run the protection stack, surviving packets (and best-effort
+// traffic, which the router only classifies) are enqueued on the output
+// port. Bursts are validated through ProcessBatch.
+type t2RouterNode struct {
+	worker   *router.Worker
+	sim      *netsim.Sim
+	out      *netsim.Port
+	hdrs     [][]byte
+	verdicts []router.BatchVerdict
+	eer      []*netsim.Packet
+}
+
+func (n *t2RouterNode) Receive(pkt *netsim.Packet, _ int) {
+	if pkt.Class == qos.ClassEER {
+		if _, err := n.worker.Process(pkt.Header, workload.EpochNs+n.sim.Now()); err != nil {
+			return // dropped: unauthentic, overuse, …
+		}
+	}
+	n.out.Send(pkt)
+}
+
+// ReceiveBatch implements netsim.BatchNode: Colibri packets of the burst
+// are validated in one ProcessBatch call.
+func (n *t2RouterNode) ReceiveBatch(pkts []*netsim.Packet, _ int) {
+	n.hdrs = n.hdrs[:0]
+	n.eer = n.eer[:0]
+	for _, pkt := range pkts {
+		if pkt.Class == qos.ClassEER {
+			n.hdrs = append(n.hdrs, pkt.Header)
+			n.eer = append(n.eer, pkt)
+		} else {
+			n.out.Send(pkt)
+		}
+	}
+	if len(n.hdrs) == 0 {
+		return
+	}
+	if cap(n.verdicts) < len(n.hdrs) {
+		n.verdicts = make([]router.BatchVerdict, len(n.hdrs))
+	}
+	n.verdicts = n.verdicts[:len(n.hdrs)]
+	n.worker.ProcessBatch(n.hdrs, n.verdicts, workload.EpochNs+n.sim.Now())
+	for i, pkt := range n.eer {
+		if n.verdicts[i].Err == nil {
+			n.out.Send(pkt)
+		}
+	}
 }
 
 // FormatTable2 renders the rows like the paper's Table 2.

@@ -29,10 +29,12 @@ import (
 )
 
 // Entry is the per-EER state installed after setup or renewal. The hop
-// authenticators are stored as raw keys and expanded per packet, exactly as
-// the paper's DPDK gateway does with hardware AES key expansion — caching
-// expanded schedules would multiply the per-reservation memory footprint
-// whose cache behaviour Fig. 5 evaluates.
+// authenticators are stored as raw keys and by default expanded per packet,
+// exactly as the paper's DPDK gateway does with hardware AES key
+// expansion — caching expanded schedules multiplies the per-reservation
+// memory footprint whose cache behaviour Fig. 5 evaluates, which is why
+// the σ-schedule cache is an explicit opt-in (Options.SchedCacheEntries)
+// with its own bounded memory.
 type Entry struct {
 	Res  packet.ResInfo
 	EER  packet.EERInfo
@@ -42,6 +44,24 @@ type Entry struct {
 	// MonitorKbps is the rate enforced by deterministic monitoring: the
 	// maximum over the EER's valid versions (§4.8).
 	MonitorKbps uint64
+	// epoch is the gateway-wide install sequence number of this entry.
+	// Workers key cached σ schedules by (ResID, hop, epoch), so a renewal
+	// (which replaces the Entry and bumps the epoch) invalidates every
+	// cached schedule of the old authenticators without any cache walk.
+	epoch uint32
+}
+
+// Options configure optional gateway features.
+type Options struct {
+	// SchedCacheEntries, when > 0, gives every worker a private σ-schedule
+	// cache of that many entries (rounded up to a power of two), so the
+	// AES key expansion runs once per (reservation, hop) per renewal epoch
+	// instead of once per packet; entries that stay hot are promoted to
+	// hardware AES where available. Memory is bounded at ≈ 240 B × entries
+	// per worker plus the promoted ciphers (see cryptoutil.SchedCache).
+	// The default 0 keeps the paper-faithful uncached path, whose
+	// state-size cache behaviour Fig. 5 measures.
+	SchedCacheEntries int
 }
 
 // Gateway errors.
@@ -56,9 +76,13 @@ var (
 // safe for concurrent use.
 type Gateway struct {
 	srcAS topology.IA
+	opts  Options
 	mu    sync.RWMutex
 	byID  map[uint32]*Entry
 	mon   *monitor.FlowMonitor
+	// installSeq numbers installs; each Entry records its value as the
+	// σ-schedule cache epoch.
+	installSeq atomic.Uint32
 	// lastTs backs the uniqueness of timestamps across all flows.
 	lastTs atomic.Uint64
 	// tel holds the optional per-packet-phase instruments; nil (the
@@ -105,10 +129,14 @@ func (g *Gateway) EnableTelemetry(reg *telemetry.Registry) {
 	g.tel.Store(t)
 }
 
-// New builds a gateway for the AS.
-func New(srcAS topology.IA) *Gateway {
+// New builds a gateway for the AS with default options (uncached σ path).
+func New(srcAS topology.IA) *Gateway { return NewWithOptions(srcAS, Options{}) }
+
+// NewWithOptions builds a gateway with explicit options.
+func NewWithOptions(srcAS topology.IA, opts Options) *Gateway {
 	return &Gateway{
 		srcAS: srcAS,
+		opts:  opts,
 		byID:  make(map[uint32]*Entry),
 		mon:   monitor.NewFlowMonitor(),
 	}
@@ -129,6 +157,7 @@ func (g *Gateway) Install(res packet.ResInfo, eer packet.EERInfo, path []packet.
 		Path:        append([]packet.HopField(nil), path...),
 		auths:       append([]cryptoutil.Key(nil), auths...),
 		MonitorKbps: uint64(res.BwKbps),
+		epoch:       g.installSeq.Add(1),
 	}
 	g.mu.Lock()
 	if old, ok := g.byID[res.ResID]; ok && old.MonitorKbps > e.MonitorKbps {
@@ -194,19 +223,38 @@ func (g *Gateway) Len() int {
 	return len(g.byID)
 }
 
-// nextTs returns a strictly increasing timestamp ≥ nowNs, unique across the
-// gateway ("Ts … uniquely identifies the packet for the particular source").
-func (g *Gateway) nextTs(nowNs int64) uint64 {
+// reserveTs hands out n strictly increasing timestamps ≥ nowNs, unique
+// across the gateway ("Ts … uniquely identifies the packet for the
+// particular source"); the batch owns [base, base+n). In steady state
+// (lastTs at or ahead of the clock) this is a single atomic Add per batch;
+// the CAS loop only runs when the wall clock overtakes lastTs, and then
+// only to push it forward before the Add claims the range.
+func (g *Gateway) reserveTs(nowNs int64, n uint64) (base uint64) {
 	for {
 		last := g.lastTs.Load()
-		ts := uint64(nowNs)
-		if ts <= last {
-			ts = last + 1
+		if last >= uint64(nowNs) {
+			return g.lastTs.Add(n) - n + 1
 		}
-		if g.lastTs.CompareAndSwap(last, ts) {
-			return ts
+		if g.lastTs.CompareAndSwap(last, uint64(nowNs)-1) {
+			return g.lastTs.Add(n) - n + 1
 		}
 	}
+}
+
+// BuildReq describes one packet of a batch: the reservation to send on,
+// the payload, and the caller-owned output buffer.
+type BuildReq struct {
+	ResID   uint32
+	Payload []byte
+	Out     []byte
+}
+
+// BuildRes is the per-packet outcome of BuildBatch: the serialized length
+// in Out, or a sentinel error (ErrUnknownRes, ErrExpired, ErrBufTooSmall,
+// ErrRateExceeded). Errors are bare sentinels — no per-packet allocation.
+type BuildRes struct {
+	N   int
+	Err error
 }
 
 // Worker holds per-goroutine scratch state for packet construction; create
@@ -217,37 +265,140 @@ type Worker struct {
 	hvfIn  [packet.HVFInputLen]byte
 	macOut [cryptoutil.MACSize]byte
 	ks     cryptoutil.AESSchedule
+	// cache holds expanded σ schedules when Options.SchedCacheEntries > 0.
+	cache *cryptoutil.SchedCache
+
+	// Batch scratch, grown to the largest batch seen and then reused.
+	entries []*Entry
+	ids     []reservation.ID
+	rates   []uint64
+	sizes   []uint32
+	allowed []bool
+	// One-element batch backing Build.
+	req1 [1]BuildReq
+	res1 [1]BuildRes
 }
 
 // NewWorker creates a packet-building worker.
-func (g *Gateway) NewWorker() *Worker { return &Worker{g: g} }
+func (g *Gateway) NewWorker() *Worker {
+	w := &Worker{g: g}
+	if g.opts.SchedCacheEntries > 0 {
+		w.cache = cryptoutil.NewSchedCache(g.opts.SchedCacheEntries)
+	}
+	return w
+}
+
+// SchedCacheStats returns the worker's σ-schedule cache hit/miss counts
+// (zero when caching is disabled).
+func (w *Worker) SchedCacheStats() (hits, misses uint64) {
+	if w.cache == nil {
+		return 0, 0
+	}
+	return w.cache.Stats()
+}
+
+// buildHVFsCached computes the packet's HVFs through the σ-schedule cache.
+// The cache is keyed by (ResID, hop) and epoch-invalidated on renewal:
+// equal tags at equal epochs always carry equal σ, so a hit is exact. A
+// cached cipher is used immediately (it is only valid until the next
+// lookup); bypassed hops fall back to the worker's private expansion.
+func (w *Worker) buildHVFsCached(e *Entry, pkt *packet.Packet) {
+	base := uint64(e.Res.ResID) << 8
+	for h := range e.auths {
+		if blk := w.cache.Schedule(base|uint64(h), e.epoch, &e.auths[h]); blk != nil {
+			blk.Encrypt(w.macOut[:], w.hvfIn[:])
+		} else { // admission bypass: software expansion, no allocation
+			cryptoutil.ExpandAES128(&w.ks, &e.auths[h])
+			cryptoutil.EncryptAES128(&w.ks, &w.macOut, &w.hvfIn)
+		}
+		copy(pkt.HVFs[h*packet.HVFLen:(h+1)*packet.HVFLen], w.macOut[:packet.HVFLen])
+	}
+}
+
+// grow sizes the batch scratch for n requests without allocating on the
+// steady state.
+func (w *Worker) grow(n int) {
+	if cap(w.entries) >= n {
+		w.entries = w.entries[:n]
+		w.ids = w.ids[:n]
+		w.rates = w.rates[:n]
+		w.sizes = w.sizes[:n]
+		w.allowed = w.allowed[:n]
+		return
+	}
+	w.entries = make([]*Entry, n)
+	w.ids = make([]reservation.ID, n)
+	w.rates = make([]uint64, n)
+	w.sizes = make([]uint32, n)
+	w.allowed = make([]bool, n)
+}
 
 // Build assembles a complete Colibri data packet for the reservation into
 // out: deterministic monitoring, timestamping, HVF computation for all
-// on-path ASes, serialization. It returns the packet length.
+// on-path ASes, serialization. It returns the packet length. Build is a
+// batch of one — BuildBatch is the primary pipeline.
 func (w *Worker) Build(resID uint32, payload []byte, out []byte, nowNs int64) (int, error) {
+	w.req1[0] = BuildReq{ResID: resID, Payload: payload, Out: out}
+	w.BuildBatch(w.req1[:], w.res1[:], nowNs)
+	return w.res1[0].N, w.res1[0].Err
+}
+
+// BuildBatch assembles one packet per request at a common instant nowNs,
+// writing per-packet outcomes into outs (which must be at least as long as
+// reqs) and returning the number of packets built. The per-packet fixed
+// costs are paid once per batch: one RLock'd state lookup pass, one locked
+// token-bucket pass, one atomic timestamp reservation for the whole batch,
+// and one telemetry sample per phase with counters bumped by Add(n).
+// Packets that fail keep their reservation-budget semantics from the
+// single-packet path: unknown/expired/too-small consume nothing; policing
+// consumes only for conforming packets.
+func (w *Worker) BuildBatch(reqs []BuildReq, outs []BuildRes, nowNs int64) int {
 	g := w.g
+	n := len(reqs)
+	if n == 0 {
+		return 0
+	}
+	if len(outs) < n {
+		panic("gateway: outs shorter than reqs")
+	}
 	// Phase timing (lookup → token bucket → HVF+serialize) is enabled by
-	// EnableTelemetry; with tel == nil, Build performs no clock reads.
+	// EnableTelemetry; with tel == nil, BuildBatch performs no clock reads.
 	tel := g.tel.Load()
 	var phaseStart time.Time
 	if tel != nil {
 		phaseStart = time.Now()
 	}
+	w.grow(n)
+	nowSec := uint32(nowNs / 1e9)
+
+	// Phase 1: one RLock for the whole batch's state lookups.
 	g.mu.RLock()
-	e, ok := g.byID[resID]
-	g.mu.RUnlock()
-	if !ok {
-		if tel != nil {
-			tel.rejected.Inc()
-		}
-		return 0, fmt.Errorf("%w: %d", ErrUnknownRes, resID)
+	for i := 0; i < n; i++ {
+		w.entries[i] = g.byID[reqs[i].ResID]
 	}
-	if uint32(nowNs/1e9) >= e.Res.ExpT {
-		if tel != nil {
-			tel.rejected.Inc()
+	g.mu.RUnlock()
+	for i := 0; i < n; i++ {
+		outs[i] = BuildRes{}
+		e := w.entries[i]
+		w.sizes[i] = 0
+		if e == nil {
+			outs[i].Err = ErrUnknownRes
+			continue
 		}
-		return 0, fmt.Errorf("%w: %d", ErrExpired, resID)
+		if nowSec >= e.Res.ExpT {
+			outs[i].Err = ErrExpired
+			w.entries[i] = nil
+			continue
+		}
+		sz := packet.DataLen(len(e.Path), len(reqs[i].Payload))
+		if len(reqs[i].Out) < sz {
+			outs[i].Err = ErrBufTooSmall
+			w.entries[i] = nil
+			continue
+		}
+		w.ids[i] = reservation.ID{SrcAS: g.srcAS, Num: reqs[i].ResID}
+		w.rates[i] = e.MonitorKbps
+		w.sizes[i] = uint32(sz)
 	}
 	if tel != nil {
 		now := time.Now()
@@ -255,52 +406,80 @@ func (w *Worker) Build(resID uint32, payload []byte, out []byte, nowNs int64) (i
 		phaseStart = now
 	}
 
-	pkt := &w.pkt
-	pkt.Type = packet.TData
-	pkt.CurrHop = 0
-	pkt.Res = e.Res
-	pkt.EER = e.EER
-	pkt.Path = e.Path
-	pkt.Payload = payload
-	n := pkt.Length()
-	if len(out) < n {
-		return 0, ErrBufTooSmall
+	// Phase 2: deterministic monitoring over the total packet sizes, all
+	// versions sharing the reservation's budget (§4.8) — one lock
+	// acquisition and at most one bucket refill per flow for the batch.
+	g.mon.AllowBatch(w.ids[:n], w.rates[:n], w.sizes[:n], nowNs, w.allowed[:n])
+	toBuild := uint64(0)
+	for i := 0; i < n; i++ {
+		if w.entries[i] == nil {
+			continue
+		}
+		if !w.allowed[i] {
+			outs[i].Err = ErrRateExceeded
+			w.entries[i] = nil
+			continue
+		}
+		toBuild++
 	}
-
-	// Deterministic monitoring over the total packet size, all versions
-	// sharing the reservation's budget (§4.8).
-	id := reservation.ID{SrcAS: g.srcAS, Num: resID}
-	allowed := g.mon.Allow(id, e.MonitorKbps, uint32(n), nowNs)
 	if tel != nil {
 		now := time.Now()
 		tel.bucketNs.Observe(now.Sub(phaseStart).Nanoseconds())
 		phaseStart = now
 	}
-	if !allowed {
-		if tel != nil {
-			tel.rejected.Inc()
-		}
-		return 0, fmt.Errorf("%w: %d", ErrRateExceeded, resID)
-	}
 
-	pkt.Ts = g.nextTs(nowNs)
-	packet.HVFInput(&w.hvfIn, pkt.Ts, uint32(n))
-	if cap(pkt.HVFs) < len(e.Path)*packet.HVFLen {
-		pkt.HVFs = make([]byte, len(e.Path)*packet.HVFLen)
-	} else {
-		pkt.HVFs = pkt.HVFs[:len(e.Path)*packet.HVFLen]
+	// Phase 3: timestamps, HVFs, serialization. One atomic Add claims the
+	// whole batch's unique timestamp range.
+	built := 0
+	if toBuild > 0 {
+		ts := g.reserveTs(nowNs, toBuild)
+		pkt := &w.pkt
+		for i := 0; i < n; i++ {
+			e := w.entries[i]
+			if e == nil {
+				continue
+			}
+			pkt.Type = packet.TData
+			pkt.CurrHop = 0
+			pkt.Res = e.Res
+			pkt.EER = e.EER
+			pkt.Path = e.Path
+			pkt.Payload = reqs[i].Payload
+			pkt.Ts = ts
+			ts++
+			packet.HVFInput(&w.hvfIn, pkt.Ts, w.sizes[i])
+			if cap(pkt.HVFs) < len(e.Path)*packet.HVFLen {
+				pkt.HVFs = make([]byte, len(e.Path)*packet.HVFLen)
+			} else {
+				pkt.HVFs = pkt.HVFs[:len(e.Path)*packet.HVFLen]
+			}
+			if w.cache != nil {
+				w.buildHVFsCached(e, pkt)
+			} else {
+				for h := range e.auths {
+					cryptoutil.ExpandAES128(&w.ks, &e.auths[h])
+					cryptoutil.EncryptAES128(&w.ks, &w.macOut, &w.hvfIn)
+					copy(pkt.HVFs[h*packet.HVFLen:(h+1)*packet.HVFLen], w.macOut[:packet.HVFLen])
+				}
+			}
+			sz, err := pkt.SerializeTo(reqs[i].Out)
+			outs[i] = BuildRes{N: sz, Err: err}
+			if err == nil {
+				built++
+				if tel != nil {
+					tel.pktBytes.Observe(int64(sz))
+				}
+			}
+		}
 	}
-	for i := range e.auths {
-		cryptoutil.SigmaMAC(&w.ks, &e.auths[i], &w.macOut, &w.hvfIn)
-		copy(pkt.HVFs[i*packet.HVFLen:(i+1)*packet.HVFLen], w.macOut[:packet.HVFLen])
-	}
-	sz, err := pkt.SerializeTo(out)
 	if tel != nil {
 		tel.hvfNs.Observe(time.Since(phaseStart).Nanoseconds())
-		if err == nil {
-			tel.built.Inc()
-			tel.pktBytes.Observe(int64(sz))
+		if built > 0 {
+			tel.built.Add(uint64(built))
+		}
+		if rej := n - built; rej > 0 {
+			tel.rejected.Add(uint64(rej))
 		}
 	}
-	return sz, err
+	return built
 }

@@ -121,6 +121,38 @@ func (m *FlowMonitor) Allow(id reservation.ID, rateKbps uint64, sizeBytes uint32
 	return ok
 }
 
+// AllowBatch checks a batch of same-instant packets under a single lock
+// acquisition: packet i belongs to ids[i] at rates[i] kbps and has
+// sizes[i] bytes; the verdicts land in allowed[i]. Entries with
+// sizes[i] == 0 are holes (no packet) and are skipped with
+// allowed[i] = false. All slices must have the same length.
+//
+// Because the whole batch shares nowNs, each bucket refills at most once
+// (TokenBucket.Allow skips refill when the clock has not advanced), so the
+// per-packet cost inside the lock is one map lookup and one comparison —
+// the amortization the batched gateway pipeline relies on.
+func (m *FlowMonitor) AllowBatch(ids []reservation.ID, rates []uint64, sizes []uint32, nowNs int64, allowed []bool) {
+	m.mu.Lock()
+	for i := range ids {
+		if sizes[i] == 0 {
+			allowed[i] = false
+			continue
+		}
+		tb, ok := m.flows[ids[i]]
+		if !ok {
+			tb = NewTokenBucket(rates[i], BurstBytesFor(rates[i]), nowNs)
+			m.flows[ids[i]] = tb
+			if m.gauge != nil {
+				m.gauge.Set(int64(len(m.flows)))
+			}
+		} else if wantRate := float64(rates[i]) * 1000 / 8 / 1e9; tb.rate != wantRate {
+			tb.SetRate(rates[i])
+		}
+		allowed[i] = tb.Allow(nowNs, sizes[i])
+	}
+	m.mu.Unlock()
+}
+
 // Ensure pre-creates a flow's bucket (at reservation install time), so the
 // per-packet path never allocates.
 func (m *FlowMonitor) Ensure(id reservation.ID, rateKbps uint64, nowNs int64) {

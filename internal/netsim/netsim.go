@@ -111,6 +111,28 @@ type NodeFunc func(pkt *Packet, inPort int)
 // Receive implements Node.
 func (f NodeFunc) Receive(pkt *Packet, inPort int) { f(pkt, inPort) }
 
+// BatchNode is implemented by nodes that can consume a whole burst at
+// once (e.g. a router node driving Worker.ProcessBatch). Ports and
+// sources with a burst factor > 1 deliver through ReceiveBatch when the
+// destination implements it, falling back to per-packet Receive calls
+// otherwise. The pkts slice is owned by the caller and must not be
+// retained past the call.
+type BatchNode interface {
+	Node
+	ReceiveBatch(pkts []*Packet, inPort int)
+}
+
+// deliverBurst hands a burst to dst, batched when supported.
+func deliverBurst(dst Node, pkts []*Packet, inPort int) {
+	if bn, ok := dst.(BatchNode); ok && len(pkts) > 1 {
+		bn.ReceiveBatch(pkts, inPort)
+		return
+	}
+	for _, pkt := range pkts {
+		dst.Receive(pkt, inPort)
+	}
+}
+
 // Port is one output port: a class scheduler draining onto a link of fixed
 // capacity and latency towards a destination node.
 type Port struct {
@@ -122,6 +144,12 @@ type Port struct {
 	busy         bool
 	dst          Node
 	dstPort      int
+	// burst is the maximum number of queued packets coalesced into one
+	// transmission event (1 = per-packet events, the default).
+	burst int
+	// free recycles burst slices between events, keeping burst delivery
+	// allocation-free in steady state.
+	free [][]*Packet
 
 	// Sent counts delivered bytes per class (at the sending side).
 	Sent [qos.NumClasses]uint64
@@ -138,7 +166,21 @@ func NewPort(sim *Sim, name string, capacityKbps uint64, latencyNs int64, policy
 		sched:        NewScheduler(policy),
 		dst:          dst,
 		dstPort:      dstPort,
+		burst:        1,
 	}
+}
+
+// SetBurst sets the port's burst factor: up to n back-to-back queued
+// packets are serialized under a single transmission event and delivered
+// together (via BatchNode when the destination supports it). This shrinks
+// the event heap by the burst factor and lets simulations drive the batch
+// data-plane APIs; per-packet serialization time and class accounting are
+// unchanged. n < 1 is treated as 1.
+func (p *Port) SetBurst(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.burst = n
 }
 
 // NewScheduler builds the packet scheduler used by ports (exported for
@@ -168,23 +210,59 @@ func (p *Port) Send(pkt *Packet) {
 	}
 }
 
-// transmitNext serializes the next scheduled packet onto the link.
+// transmitNext serializes the next burst of scheduled packets onto the
+// link: up to p.burst packets are drained back-to-back, their serialization
+// times summed into one event, and the whole slice delivered together
+// after the propagation latency.
 func (p *Port) transmitNext() {
 	pkt, class, size, ok := p.sched.Dequeue()
 	if !ok {
 		p.busy = false
 		return
 	}
-	serNs := int64(float64(size*8) / p.capBitsPerNs)
+	p.Sent[class] += uint64(size)
+	total := size
+	burst := p.takeBurst()
+	burst = append(burst, pkt)
+	for len(burst) < p.burst {
+		pkt, class, size, ok = p.sched.Dequeue()
+		if !ok {
+			break
+		}
+		p.Sent[class] += uint64(size)
+		total += size
+		burst = append(burst, pkt)
+	}
+	serNs := int64(float64(total*8) / p.capBitsPerNs)
 	if serNs < 1 {
 		serNs = 1
 	}
-	p.Sent[class] += uint64(size)
 	dst, dstPort, lat := p.dst, p.dstPort, p.latencyNs
 	p.sim.After(serNs, func() {
-		p.sim.After(lat, func() { dst.Receive(pkt, dstPort) })
+		p.sim.After(lat, func() {
+			deliverBurst(dst, burst, dstPort)
+			p.putBurst(burst)
+		})
 		p.transmitNext()
 	})
+}
+
+// takeBurst pops a recycled burst slice (or makes one).
+func (p *Port) takeBurst() []*Packet {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return make([]*Packet, 0, p.burst)
+}
+
+// putBurst returns a delivered burst slice to the pool.
+func (p *Port) putBurst(b []*Packet) {
+	for i := range b {
+		b[i] = nil
+	}
+	p.free = append(p.free, b[:0])
 }
 
 func (p *Port) String() string { return fmt.Sprintf("port(%s)", p.name) }
@@ -201,6 +279,11 @@ type Source struct {
 	PktBytes int
 	StopNs   int64
 	Make     func() *Packet
+	// Burst > 1 emits that many packets per tick, with the tick interval
+	// stretched by the same factor so the offered rate is unchanged; the
+	// burst is delivered in one call (via BatchNode when the destination
+	// supports it), so one generation event replaces Burst of them.
+	Burst int
 }
 
 // Start begins generation at startNs. A zero rate generates nothing.
@@ -208,18 +291,25 @@ func (src *Source) Start(startNs int64) {
 	if src.RateKbps == 0 {
 		return
 	}
-	interval := int64(float64(src.PktBytes*8) / (float64(src.RateKbps) * 1000) * 1e9)
+	burst := src.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	interval := int64(float64(src.PktBytes*8*burst) / (float64(src.RateKbps) * 1000) * 1e9)
 	if interval < 1 {
 		interval = 1
 	}
+	buf := make([]*Packet, burst)
 	var tick func()
 	next := startNs
 	tick = func() {
 		if src.Sim.Now() >= src.StopNs {
 			return
 		}
-		pkt := src.Make()
-		src.Dst.Receive(pkt, src.DstPort)
+		for i := range buf {
+			buf[i] = src.Make()
+		}
+		deliverBurst(src.Dst, buf, src.DstPort)
 		next += interval
 		src.Sim.At(next, tick)
 	}
@@ -241,6 +331,13 @@ func (c *Counter) Receive(pkt *Packet, _ int) {
 	c.Bytes[pkt.Class] += uint64(pkt.WireSize)
 	if label, ok := pkt.Meta.(string); ok {
 		c.ByLabel[label] += uint64(pkt.WireSize)
+	}
+}
+
+// ReceiveBatch implements BatchNode.
+func (c *Counter) ReceiveBatch(pkts []*Packet, inPort int) {
+	for _, pkt := range pkts {
+		c.Receive(pkt, inPort)
 	}
 }
 

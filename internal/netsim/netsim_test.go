@@ -146,3 +146,109 @@ func TestGbpsOver(t *testing.T) {
 		t.Errorf("GbpsOver = %f", got)
 	}
 }
+
+// burstRecorder records every delivery call so tests can distinguish
+// batched from per-packet delivery.
+type burstRecorder struct {
+	bursts [][]*Packet
+	total  int
+	bytes  uint64
+}
+
+func (r *burstRecorder) Receive(pkt *Packet, _ int) {
+	r.bursts = append(r.bursts, []*Packet{pkt})
+	r.total++
+	r.bytes += uint64(pkt.WireSize)
+}
+
+func (r *burstRecorder) ReceiveBatch(pkts []*Packet, _ int) {
+	cp := make([]*Packet, len(pkts)) // pkts is caller-owned; copy for inspection
+	copy(cp, pkts)
+	r.bursts = append(r.bursts, cp)
+	r.total += len(pkts)
+	for _, p := range pkts {
+		r.bytes += uint64(p.WireSize)
+	}
+}
+
+func TestPortBurstCoalescing(t *testing.T) {
+	s := NewSim()
+	rec := &burstRecorder{}
+	// 8 Mbps link: a 1000-byte packet serializes in 1 ms.
+	port := NewPort(s, "out", 8_000, 0, qos.StrictPriority, rec, 0)
+	port.SetBurst(4)
+	for i := 0; i < 8; i++ {
+		port.Send(&Packet{WireSize: 1000, Class: qos.ClassBE})
+	}
+	end := s.Run(0)
+	// Serialization time is per byte, burst or not: 8 × 1 ms.
+	if end < 7_999_000 || end > 8_100_000 {
+		t.Errorf("drain time = %d ns, want ≈8 ms", end)
+	}
+	if rec.total != 8 || rec.bytes != 8_000 {
+		t.Errorf("delivered %d packets / %d bytes", rec.total, rec.bytes)
+	}
+	// The port is work-conserving: the first Send starts serializing the
+	// lone queued packet right away; the remaining 7 coalesce into bursts
+	// of up to 4 → deliveries of [1 4 3].
+	sizes := make([]int, len(rec.bursts))
+	for i, b := range rec.bursts {
+		sizes[i] = len(b)
+	}
+	if len(sizes) != 3 || sizes[0] != 1 || sizes[1] != 4 || sizes[2] != 3 {
+		t.Errorf("burst sizes = %v, want [1 4 3]", sizes)
+	}
+	if port.Sent[qos.ClassBE] != 8_000 {
+		t.Errorf("Sent[BE] = %d", port.Sent[qos.ClassBE])
+	}
+}
+
+func TestPortBurstFallbackToReceive(t *testing.T) {
+	s := NewSim()
+	var got []*Packet
+	// Destination implements only Node: bursts must fall back to
+	// per-packet Receive calls, in FIFO order.
+	dst := NodeFunc(func(p *Packet, _ int) { got = append(got, p) })
+	port := NewPort(s, "out", 8_000, 0, qos.StrictPriority, dst, 0)
+	port.SetBurst(4)
+	want := make([]*Packet, 6)
+	for i := range want {
+		want[i] = &Packet{WireSize: 1000, Class: qos.ClassBE, Meta: i}
+		port.Send(want[i])
+	}
+	s.Run(0)
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packet %d out of order: got Meta=%v", i, got[i].Meta)
+		}
+	}
+}
+
+func TestSourceBurstRateInvariant(t *testing.T) {
+	for _, burst := range []int{1, 8} {
+		s := NewSim()
+		rec := &burstRecorder{}
+		src := &Source{
+			Sim: s, Dst: rec,
+			RateKbps: 8_000, PktBytes: 1000, StopNs: 1e9,
+			Make:  func() *Packet { return &Packet{WireSize: 1000, Class: qos.ClassBE} },
+			Burst: burst,
+		}
+		src.Start(0)
+		s.Run(2e9)
+		// 8 Mbps / 8000 bits per packet = 1000 pps regardless of burst.
+		if rec.total < 990 || rec.total > 1010 {
+			t.Errorf("burst %d: generated %d packets, want ≈1000", burst, rec.total)
+		}
+		if burst > 1 {
+			for i, b := range rec.bursts {
+				if len(b) != burst {
+					t.Fatalf("burst %d: delivery %d carried %d packets", burst, i, len(b))
+				}
+			}
+		}
+	}
+}

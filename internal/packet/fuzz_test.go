@@ -3,6 +3,8 @@ package packet
 import (
 	"bytes"
 	"testing"
+
+	"colibri/internal/topology"
 )
 
 // FuzzDecodeFromBytes: arbitrary input must never panic, and whatever
@@ -17,6 +19,9 @@ func FuzzDecodeFromBytes(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xFF}, 100))
 	truncated := append([]byte(nil), buf[:len(buf)-3]...)
 	f.Add(truncated)
+	maxBuf, _ := maxHopPacket().Serialize()
+	f.Add(maxBuf)
+	f.Add(append(append([]byte(nil), buf...), buf...)) // trailing bytes past one packet
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var q Packet
@@ -40,6 +45,74 @@ func FuzzDecodeFromBytes(f *testing.F) {
 			q2.Type != q.Type || q2.CurrHop != q.CurrHop ||
 			!bytes.Equal(q2.HVFs, q.HVFs) || !bytes.Equal(q2.Payload, q.Payload) {
 			t.Fatal("decode–encode–decode not a fixpoint")
+		}
+	})
+}
+
+// maxHopPacket builds a packet at the MaxHops path-length ceiling — the
+// largest header the wire format permits.
+func maxHopPacket() *Packet {
+	p := samplePacket()
+	p.Path = make([]HopField, MaxHops)
+	for i := range p.Path {
+		p.Path[i] = HopField{In: topology.IfID(2 * i), Eg: topology.IfID(2*i + 1)}
+	}
+	p.HVFs = make([]byte, MaxHops*HVFLen)
+	for i := range p.HVFs {
+		p.HVFs[i] = byte(i)
+	}
+	return p
+}
+
+// FuzzDecodeStream: decoding a byte stream as a sequence of packets — the
+// shape a batched burst arrives in — must never panic, must always make
+// progress (no zero-length success), and every decoded packet must
+// round-trip. The seeds cover the batch boundaries the burst pipeline
+// produces: clean multi-packet concatenations, a truncated final packet,
+// and a maximum-size header.
+func FuzzDecodeStream(f *testing.F) {
+	one, _ := samplePacket().Serialize()
+	maxBuf, _ := maxHopPacket().Serialize()
+	var burst []byte
+	for i := 0; i < 4; i++ { // a 4-packet burst back to back
+		burst = append(burst, one...)
+	}
+	f.Add(burst)
+	f.Add(append(append([]byte(nil), one...), one[:len(one)-5]...)) // truncated tail
+	f.Add(append(append([]byte(nil), maxBuf...), one...))
+	f.Add([]byte{})
+	f.Add(one[:1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		for off < len(data) {
+			var q Packet
+			n, err := q.DecodeFromBytes(data[off:])
+			if err != nil {
+				return // rest of the stream is garbage; stop like a receiver would
+			}
+			if n <= 0 || off+n > len(data) {
+				t.Fatalf("decode at offset %d consumed %d of %d remaining bytes",
+					off, n, len(data)-off)
+			}
+			out := make([]byte, q.Length())
+			m, err := q.SerializeTo(out)
+			if err != nil {
+				t.Fatalf("re-serialize of stream packet at offset %d failed: %v", off, err)
+			}
+			var q2 Packet
+			if k, err := q2.DecodeFromBytes(out[:m]); err != nil || k != m {
+				// The canonical re-encoding must decode back in one piece —
+				// otherwise a forwarded burst would corrupt at this boundary.
+				t.Fatalf("re-decode of stream packet at offset %d: consumed %d of %d, err %v",
+					off, k, m, err)
+			}
+			if q2.Res != q.Res || q2.EER != q.EER || q2.Ts != q.Ts ||
+				q2.Type != q.Type || q2.CurrHop != q.CurrHop ||
+				!bytes.Equal(q2.HVFs, q.HVFs) || !bytes.Equal(q2.Payload, q.Payload) {
+				t.Fatalf("stream packet at offset %d: decode–encode–decode not a fixpoint", off)
+			}
+			off += n
 		}
 	})
 }

@@ -135,7 +135,14 @@ var (
 
 // Length returns the serialized length of the packet.
 func (p *Packet) Length() int {
-	return fixedLen + len(p.Path)*(hopFieldLen+HVFLen) + len(p.Payload)
+	return DataLen(len(p.Path), len(p.Payload))
+}
+
+// DataLen returns the serialized length of a packet with the given hop
+// count and payload size, without needing a decoded Packet — used by batch
+// builders to size-check and police before assembling anything.
+func DataLen(hops, payloadBytes int) int {
+	return fixedLen + hops*(hopFieldLen+HVFLen) + payloadBytes
 }
 
 // HVF returns the 4-byte hop validation field of hop i (a view, valid until

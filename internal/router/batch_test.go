@@ -1,0 +1,120 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"colibri/internal/packet"
+	"colibri/internal/replay"
+)
+
+// tamperBw rewrites buf in place with the reservation bandwidth doubled —
+// an authenticated header field, so the HVFs no longer verify.
+func tamperBw(t *testing.T, buf []byte) {
+	t.Helper()
+	var pkt packet.Packet
+	if _, err := pkt.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	pkt.Res.BwKbps *= 2
+	if _, err := pkt.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProcessBatchMatchesSequential: a batch — including invalid packets
+// mixed between valid ones — must produce exactly the verdicts and buffer
+// mutations of processing the same packets one by one.
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	withReplay := func(i int, cfg *Config) { cfg.Replay = replay.New(replay.Config{}) }
+	nBatch := newTestnet(t, withReplay)
+	nSeq := newTestnet(t, withReplay)
+
+	mkSet := func(n *testnet) [][]byte {
+		var bufs [][]byte
+		for i := 0; i < 12; i++ {
+			bufs = append(bufs, n.buildPacket(t, []byte{byte(i)}, baseNs+int64(i)))
+		}
+		tamperBw(t, bufs[3])                      // header tamper → bad HVF
+		bufs[7] = []byte{0xDE, 0xAD}              // garbage
+		bufs[9] = append([]byte(nil), bufs[2]...) // replay of packet 2
+		return bufs
+	}
+	// Both testnets are built identically, so the packet sets are
+	// byte-identical too.
+	setB, setS := mkSet(nBatch), mkSet(nSeq)
+	for i := range setB {
+		if !bytes.Equal(setB[i], setS[i]) {
+			t.Fatalf("fixture packet %d differs between testnets", i)
+		}
+	}
+
+	wB := nBatch.routers[0].NewWorker()
+	wS := nSeq.routers[0].NewWorker()
+	verdicts := make([]BatchVerdict, len(setB))
+	if got := wB.ProcessBatch(setB, verdicts, baseNs); got != 9 {
+		t.Errorf("ProcessBatch passed %d, want 9", got)
+	}
+	for i := range setS {
+		v, err := wS.Process(setS[i], baseNs)
+		if verdicts[i].Action != v.Action {
+			t.Errorf("pkt %d: batch action %v, sequential %v", i, verdicts[i].Action, v.Action)
+		}
+		if fmt.Sprint(verdicts[i].Err) != fmt.Sprint(err) {
+			t.Errorf("pkt %d: batch err %v, sequential %v", i, verdicts[i].Err, err)
+		}
+		if !bytes.Equal(setB[i], setS[i]) {
+			t.Errorf("pkt %d: batch mutated the buffer differently", i)
+		}
+	}
+}
+
+// TestProcessBatchCachedMatchesUncached: with the σ-derivation cache
+// enabled (sized small enough to force evictions and bypasses), every
+// verdict must equal the uncached router's — the cache is invisible except
+// for speed.
+func TestProcessBatchCachedMatchesUncached(t *testing.T) {
+	nCached := newTestnet(t, func(i int, cfg *Config) { cfg.SigmaCacheEntries = 2 })
+	nPlain := newTestnet(t, nil)
+
+	mk := func(n *testnet) [][]byte {
+		var bufs [][]byte
+		for i := 0; i < 64; i++ {
+			bufs = append(bufs, n.buildPacket(t, []byte{byte(i)}, baseNs+int64(i)*1e6))
+		}
+		tamperBw(t, bufs[5]) // header tamper → bad HVF
+		return bufs
+	}
+	setC, setP := mk(nCached), mk(nPlain)
+
+	wC := nCached.routers[0].NewWorker()
+	wP := nPlain.routers[0].NewWorker()
+	vC := make([]BatchVerdict, 8)
+	for off := 0; off+8 <= len(setC); off += 8 {
+		wC.ProcessBatch(setC[off:off+8], vC, baseNs+int64(off)*1e6)
+		for i := 0; i < 8; i++ {
+			v, err := wP.Process(setP[off+i], baseNs+int64(off)*1e6)
+			if vC[i].Action != v.Action || fmt.Sprint(vC[i].Err) != fmt.Sprint(err) {
+				t.Errorf("pkt %d: cached (%v,%v) vs uncached (%v,%v)",
+					off+i, vC[i].Action, vC[i].Err, v.Action, err)
+			}
+		}
+	}
+	if hits, misses := wC.SigmaCacheStats(); hits == 0 || misses == 0 {
+		t.Errorf("σ-cache not exercised: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestProcessBatchVerdictSliceTooShort: the documented panic on a verdict
+// slice shorter than the packet slice.
+func TestProcessBatchVerdictSliceTooShort(t *testing.T) {
+	n := newTestnet(t, nil)
+	w := n.routers[0].NewWorker()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on short verdict slice")
+		}
+	}()
+	w.ProcessBatch(make([][]byte, 4), make([]BatchVerdict, 3), baseNs)
+}

@@ -12,6 +12,7 @@
 package router
 
 import (
+	"crypto/cipher"
 	"errors"
 	"fmt"
 	"sync"
@@ -115,6 +116,14 @@ type Config struct {
 	// reservations are policed by the token bucket. Default false:
 	// confirmed overuse blocks the source AS.
 	PoliceOnly bool
+	// SigmaCacheEntries, when > 0, gives every worker a private σ-cache of
+	// that many entries (rounded up to a power of two): the σ derivation
+	// (3-block CBC-MAC) and its AES key schedule are computed once per
+	// distinct Eq. (4) input instead of once per packet. Entries store the
+	// full MAC input and hits require an exact match, so caching never
+	// changes a verdict. Memory ≈ 248 B × entries per worker. Default 0
+	// keeps the paper-faithful stateless path.
+	SigmaCacheEntries int
 	// Telemetry attaches the router's instruments to an AS-wide registry
 	// and enables the optional processed-packets counter and the
 	// drop-verdict tracer. When nil the router still keeps its per-reason
@@ -133,6 +142,7 @@ type Router struct {
 	blocklist   *monitor.Blocklist
 	onOveruse   func(id reservation.ID)
 	policeOnly  bool
+	sigmaCache  int
 
 	// watch holds flows escalated to deterministic monitoring (§4.8:
 	// "suspicious EERs are subjected to deterministic monitoring").
@@ -178,6 +188,7 @@ func New(cfg Config) *Router {
 		blocklist:   cfg.Blocklist,
 		onOveruse:   cfg.OnOveruse,
 		policeOnly:  cfg.PoliceOnly,
+		sigmaCache:  cfg.SigmaCacheEntries,
 		watch:       make(map[reservation.ID]struct{}),
 		detMon:      monitor.NewFlowMonitor(),
 	}
@@ -280,18 +291,33 @@ func (r *Router) Forwarded() uint64 {
 	return p - d
 }
 
-// countDrop accounts one dropped packet and, when tracing is enabled,
-// records the verdict. decoded tells whether w.pkt holds valid reservation
-// info for the trace (false on decode failures).
-func (w *Worker) countDrop(reason DropReason, nowNs int64, decoded bool) {
+// dropAcc accumulates a batch's drop counts per reason; ProcessBatch
+// flushes it with one counter Add per observed reason instead of one
+// atomic increment per dropped packet.
+type dropAcc [numDropReasons]uint32
+
+// countDrop accounts one dropped packet into the batch accumulator and,
+// when tracing is enabled, records the verdict. decoded tells whether
+// w.pkt holds valid reservation info for the trace (false on decode
+// failures).
+func (w *Worker) countDrop(acc *dropAcc, reason DropReason, nowNs int64, decoded bool) {
+	acc[reason]++
 	r := w.r
-	r.drops[reason].Inc()
 	if r.hot != nil {
 		res := ""
 		if decoded {
 			res = reservation.ID{SrcAS: w.pkt.Res.SrcAS, Num: w.pkt.Res.ResID}.String()
 		}
 		r.hot.trace.Record(nowNs, telemetry.EvDrop, res, false, dropSlug(reason))
+	}
+}
+
+// flushDrops folds the batch accumulator into the shared counters.
+func (r *Router) flushDrops(acc *dropAcc) {
+	for reason, n := range acc {
+		if n > 0 {
+			r.drops[reason].Add(uint64(n))
+		}
 	}
 }
 
@@ -306,25 +332,99 @@ type Worker struct {
 	sigma  cryptoutil.Key
 	macOut [cryptoutil.MACSize]byte
 	ks     cryptoutil.AESSchedule
+	// sc caches σ derivations when Config.SigmaCacheEntries > 0.
+	sc *sigmaCache
+	// watchClean is a per-batch snapshot of "the watchlist is empty": it
+	// lets every packet of a batch skip the watchMu read-lock. Escalation
+	// by the probabilistic detector mid-batch clears it, so a flow flagged
+	// by packet i is policed from packet i+1 on.
+	watchClean bool
+}
+
+// snapshotWatch refreshes the per-batch watchlist-empty snapshot.
+func (w *Worker) snapshotWatch() {
+	w.r.watchMu.RLock()
+	w.watchClean = len(w.r.watch) == 0
+	w.r.watchMu.RUnlock()
 }
 
 // NewWorker creates a processing worker.
 func (r *Router) NewWorker() *Worker {
-	return &Worker{r: r, cbc: cryptoutil.MustCBCMAC(r.secret)}
+	w := &Worker{r: r, cbc: cryptoutil.MustCBCMAC(r.secret)}
+	if r.sigmaCache > 0 {
+		w.sc = newSigmaCache(r.sigmaCache)
+	}
+	return w
+}
+
+// SigmaCacheStats returns the worker's σ-cache hit/miss counts (zero when
+// caching is disabled).
+func (w *Worker) SigmaCacheStats() (hits, misses uint64) {
+	if w.sc == nil {
+		return 0, 0
+	}
+	return w.sc.stats()
 }
 
 // Process validates the serialized Colibri packet in buf at time nowNs and
 // returns the forwarding verdict. buf is modified in place only to advance
 // the current hop on AForward. Dropped packets return Action ADrop and a
-// wrapped reason error.
+// wrapped reason error. Process is a batch of one — ProcessBatch is the
+// primary pipeline.
 func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 	r := w.r
 	if r.hot != nil {
 		r.hot.processed.Inc()
 	}
+	w.snapshotWatch()
+	var acc dropAcc
+	v, err := w.processOne(buf, nowNs, &acc)
+	r.flushDrops(&acc)
+	return v, err
+}
+
+// BatchVerdict is the per-packet outcome of ProcessBatch.
+type BatchVerdict struct {
+	Verdict
+	Err error
+}
+
+// ProcessBatch validates a burst of serialized packets at a common instant
+// nowNs, writing per-packet outcomes into verdicts (which must be at least
+// as long as pkts) and returning the number of packets that passed
+// validation. Fixed costs are amortized across the burst: the processed
+// counter is bumped once with Add(n) and drop counters are flushed once
+// per reason at the end, so the per-packet path touches no shared atomics
+// on the happy path.
+func (w *Worker) ProcessBatch(pkts [][]byte, verdicts []BatchVerdict, nowNs int64) int {
+	r := w.r
+	if len(verdicts) < len(pkts) {
+		panic("router: verdicts shorter than pkts")
+	}
+	if r.hot != nil {
+		r.hot.processed.Add(uint64(len(pkts)))
+	}
+	w.snapshotWatch()
+	var acc dropAcc
+	passed := 0
+	for i, buf := range pkts {
+		v, err := w.processOne(buf, nowNs, &acc)
+		verdicts[i] = BatchVerdict{Verdict: v, Err: err}
+		if err == nil {
+			passed++
+		}
+	}
+	r.flushDrops(&acc)
+	return passed
+}
+
+// processOne runs the full protection stack for one packet, accounting
+// drops into acc.
+func (w *Worker) processOne(buf []byte, nowNs int64, acc *dropAcc) (Verdict, error) {
+	r := w.r
 	pkt := &w.pkt
 	if _, err := pkt.DecodeFromBytes(buf); err != nil {
-		w.countDrop(DropDecode, nowNs, false)
+		w.countDrop(acc, DropDecode, nowNs, false)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: %v", ErrDecode, err)
 	}
 	idx := int(pkt.CurrHop)
@@ -333,17 +433,17 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 	// Expiry and freshness (§4.6: "checks whether the reservation has not
 	// expired yet" and "packet freshness").
 	if uint32(nowNs/1e9) >= pkt.Res.ExpT {
-		w.countDrop(DropExpired, nowNs, true)
+		w.countDrop(acc, DropExpired, nowNs, true)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: at %d", ErrExpired, pkt.Res.ExpT)
 	}
 	delta := nowNs - int64(pkt.Ts)
 	if delta < -r.freshnessNs || delta > r.freshnessNs {
-		w.countDrop(DropStale, nowNs, true)
+		w.countDrop(acc, DropStale, nowNs, true)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: delta %d ns", ErrStale, delta)
 	}
 	// Blocklist (§4.8: "keeping a list of blocked source ASes").
 	if r.blocklist.Blocked(pkt.Res.SrcAS, uint32(nowNs/1e9)) {
-		w.countDrop(DropBlocked, nowNs, true)
+		w.countDrop(acc, DropBlocked, nowNs, true)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrBlocked, pkt.Res.SrcAS)
 	}
 
@@ -353,12 +453,24 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 		// Two-step EER validation (Eqs. 4 and 6). The σ-keyed MAC uses the
 		// allocation-free software AES: σ changes per packet, and heap
 		// churn from per-packet key schedules would let the GC dominate.
+		// With a σ-cache, repeat reservations skip the derivation and the
+		// key expansion entirely (exact-input match, so verdicts are
+		// unchanged).
 		packet.EERAuthInput(&w.eerIn, &pkt.Res, &pkt.EER, hop)
-		w.cbc.SumInto((*[cryptoutil.MACSize]byte)(&w.sigma), w.eerIn[:])
 		packet.HVFInput(&w.hvfIn, pkt.Ts, uint32(len(buf)))
-		cryptoutil.SigmaMAC(&w.ks, &w.sigma, &w.macOut, &w.hvfIn)
+		var blk cipher.Block
+		if w.sc != nil {
+			blk = w.sc.block(&w.eerIn, w.cbc)
+		}
+		if blk != nil {
+			blk.Encrypt(w.macOut[:], w.hvfIn[:])
+		} else {
+			w.cbc.SumInto((*[cryptoutil.MACSize]byte)(&w.sigma), w.eerIn[:])
+			cryptoutil.ExpandAES128(&w.ks, &w.sigma)
+			cryptoutil.EncryptAES128(&w.ks, &w.macOut, &w.hvfIn)
+		}
 		if !cryptoutil.ConstantTimeEqual(w.macOut[:packet.HVFLen], pkt.HVF(idx)) {
-			w.countDrop(DropBadHVF, nowNs, true)
+			w.countDrop(acc, DropBadHVF, nowNs, true)
 			return Verdict{Action: ADrop}, ErrBadHVF
 		}
 	case packet.TSegRenewReq, packet.TEESetupReq, packet.TResponse:
@@ -366,14 +478,14 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 		packet.SegAuthInput(&w.segIn, &pkt.Res, hop)
 		w.cbc.SumInto(&w.macOut, w.segIn[:])
 		if !cryptoutil.ConstantTimeEqual(w.macOut[:packet.HVFLen], pkt.HVF(idx)) {
-			w.countDrop(DropBadHVF, nowNs, true)
+			w.countDrop(acc, DropBadHVF, nowNs, true)
 			return Verdict{Action: ADrop}, ErrBadHVF
 		}
 	case packet.TSegSetupReq:
 		// Initial SegR setup requests arrive as best-effort traffic and are
 		// authenticated at the CServ (§5.3); the router only forwards them.
 	default:
-		w.countDrop(DropBestEffort, nowNs, true)
+		w.countDrop(acc, DropBestEffort, nowNs, true)
 		return Verdict{Action: ADrop}, fmt.Errorf("%w: type %v", ErrBestEffort, pkt.Type)
 	}
 
@@ -383,7 +495,7 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 	// discarded").
 	if r.replay != nil && pkt.Type == packet.TData {
 		if !r.replay.FreshAndUnique(replay.PacketID(uint64(pkt.Res.SrcAS), pkt.Res.ResID, pkt.Ts), nowNs) {
-			w.countDrop(DropReplay, nowNs, true)
+			w.countDrop(acc, DropReplay, nowNs, true)
 			return Verdict{Action: ADrop}, ErrReplay
 		}
 	}
@@ -397,14 +509,15 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 				r.watchMu.Lock()
 				r.watch[id] = struct{}{}
 				r.watchMu.Unlock()
+				w.watchClean = false
 			}
 		}
-		r.watchMu.RLock()
-		watched := len(r.watch) > 0
-		if watched {
+		watched := false
+		if !w.watchClean {
+			r.watchMu.RLock()
 			_, watched = r.watch[id]
+			r.watchMu.RUnlock()
 		}
-		r.watchMu.RUnlock()
 		if watched && !r.detMon.Allow(id, uint64(pkt.Res.BwKbps), uint32(len(buf)), nowNs) {
 			// Overuse established with certainty: police, and unless
 			// configured police-only, block and report the source AS.
@@ -414,7 +527,7 @@ func (w *Worker) Process(buf []byte, nowNs int64) (Verdict, error) {
 					r.onOveruse(id)
 				}
 			}
-			w.countDrop(DropOveruse, nowNs, true)
+			w.countDrop(acc, DropOveruse, nowNs, true)
 			return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrOveruse, id)
 		}
 	}

@@ -1,0 +1,142 @@
+package router
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+
+	"colibri/internal/cryptoutil"
+	"colibri/internal/packet"
+)
+
+// Per-worker σ-derivation cache for the border router.
+//
+// Unlike the gateway — which owns its reservations and can key cached
+// schedules by (ResID, hop, epoch) — the router is stateless and derives
+// σ from untrusted packet fields (Eq. 4). A cache keyed by a *subset* of
+// those fields would be poisonable: an attacker could warm a slot with a
+// forged variant of a reservation and have later legitimate packets
+// validated against the wrong σ (a false-drop DoS). The cache therefore
+// stores the complete 48-byte EERAuthInput and a hit requires an exact
+// byte-for-byte match, so a cached σ is always the one this router would
+// derive from the packet itself. A hit skips both the 3-block CBC-MAC
+// derivation of σ and the AES key expansion.
+//
+// The cache is tiered like cryptoutil.SchedCache: a fill installs the
+// allocation-free software schedule inline, and an entry that proves hot
+// (promoteAfter further hits) is promoted once to a crypto/aes cipher
+// (hardware AES where available) — the one heap allocation is amortized
+// over the entry's remaining lifetime, and churning entries never reach
+// it. Layout: power-of-two sets, 2-way associative, second-chance
+// (reference-bit) eviction with admission bypass when a set is full of
+// hot entries. Memory is bounded at ≈ 300 B × entries for the array plus
+// ≈ 500 B heap per promoted entry (≤ entries). Renewals need no explicit
+// invalidation: a new version changes the MAC input (Ver/ExpT/bandwidth),
+// so it simply occupies a different entry.
+type sigmaCache struct {
+	mask   uint64
+	ents   []sigmaEntry
+	hits   uint64
+	misses uint64
+}
+
+// promoteAfter mirrors cryptoutil.SchedCache: hits before an entry's σ is
+// expanded into a hardware cipher.
+const promoteAfter = 16
+
+type sigmaEntry struct {
+	in    [packet.EERAuthLen]byte
+	hcnt  uint16
+	valid bool
+	ref   bool
+	sigma cryptoutil.Key
+	ks    cryptoutil.AESSchedule
+	blk   cipher.Block // non-nil once promoted to the hardware tier
+}
+
+func newSigmaCache(entries int) *sigmaCache {
+	n := 2
+	for n < entries {
+		n <<= 1
+	}
+	return &sigmaCache{mask: uint64(n/2 - 1), ents: make([]sigmaEntry, n)}
+}
+
+// hashEERInput mixes the fixed-size MAC input word-wise (six 64-bit
+// multiply-xorshift rounds — a byte-wise FNV costs 48 dependent multiplies
+// on this per-packet path). Collisions only cost a probe mismatch; the
+// exact-match check carries all correctness.
+func hashEERInput(in *[packet.EERAuthLen]byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < packet.EERAuthLen; i += 8 {
+		h = (h ^ binary.LittleEndian.Uint64(in[i:])) * 0x9e3779b97f4a7c15
+		h ^= h >> 29
+	}
+	return h
+}
+
+// block returns the σ-keyed cipher for the given Eq. (4) MAC input,
+// deriving σ with cbc and expanding on miss.
+//
+// block returns nil when the set is full of recently-hit entries
+// (admission bypass, mirroring cryptoutil.SchedCache): the caller derives
+// σ itself on its software path, and σ is not derived here. The returned
+// cipher is only guaranteed valid until the next call — software-tier
+// entries hand out a pointer into the cache that a later fill may
+// overwrite.
+func (c *sigmaCache) block(in *[packet.EERAuthLen]byte, cbc *cryptoutil.CBCMAC) cipher.Block {
+	i := (hashEERInput(in) & c.mask) * 2
+	e0, e1 := &c.ents[i], &c.ents[i+1]
+	// Conditional ref stores keep steady-state hits read-only (an
+	// unconditional store would dirty the cache line on every probe).
+	if e0.valid && e0.in == *in {
+		if !e0.ref {
+			e0.ref = true
+		}
+		c.hits++
+		return e0.block()
+	}
+	if e1.valid && e1.in == *in {
+		if !e1.ref {
+			e1.ref = true
+		}
+		c.hits++
+		return e1.block()
+	}
+	c.misses++
+	var v *sigmaEntry
+	switch {
+	case !e0.valid:
+		v = e0
+	case !e1.valid:
+		v = e1
+	case !e0.ref:
+		v = e0
+	case !e1.ref:
+		v = e1
+	default:
+		e0.ref, e1.ref = false, false
+		return nil
+	}
+	v.in = *in
+	v.valid, v.ref = true, true
+	v.hcnt, v.blk = 0, nil
+	cbc.SumInto((*[cryptoutil.MACSize]byte)(&v.sigma), in[:])
+	cryptoutil.ExpandAES128(&v.ks, &v.sigma)
+	return &v.ks
+}
+
+// block returns the entry's cipher, promoting it to the hardware tier once
+// it has proven hot.
+func (e *sigmaEntry) block() cipher.Block {
+	if e.blk != nil {
+		return e.blk
+	}
+	if e.hcnt < promoteAfter {
+		e.hcnt++
+		return &e.ks
+	}
+	e.blk = cryptoutil.NewBlock(e.sigma)
+	return e.blk
+}
+
+func (c *sigmaCache) stats() (hits, misses uint64) { return c.hits, c.misses }
