@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [fig3|fig4|fig5|fig6|table2|appendix-e|all]
+//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|all]
 //
 // With -quick, reduced parameter grids keep the total runtime under a
 // minute; the default grids match the paper's sweeps (fig5/fig6 with
@@ -94,9 +94,24 @@ func main() {
 	run("ablations", func() {
 		fmt.Print(experiments.FormatAblations(experiments.RunAblations(*dur)))
 	})
+	run("chaos", func() {
+		cfg := experiments.ChaosConfig{}
+		if *quick {
+			cfg = experiments.ChaosConfig{
+				Seed: 7, Loss: 0.05, Seconds: 25, Flows: 2, PktPerSec: 2,
+				CrashFrom: 4, CrashTo: 21,
+			}
+		}
+		r, err := experiments.RunChaos(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatChaos(r))
+	})
 	if !ran {
 		fmt.Fprintf(os.Stderr,
-			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|all)\n", what)
+			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|all)\n", what)
 		os.Exit(2)
 	}
 	if reg != nil {

@@ -185,9 +185,15 @@ func (st *State) admitLocked(req Request) (uint64, error) {
 
 	adj := d * fIn * fTube * fSrc
 
-	// Proportional share of the egress capacity.
+	// Proportional share of the egress capacity. totalAdj can be zero when
+	// the tube has zero capacity (adj scales to 0) and no other demand is
+	// present; 0/0 would make share NaN and the min() chain below would
+	// pass NaN through uint64 conversion as a huge grant.
 	totalAdj := st.adjEg[req.Eg] + adj
-	share := capEg * adj / totalAdj
+	share := 0.0
+	if totalAdj > 0 {
+		share = capEg * adj / totalAdj
+	}
 	free := capEg - float64(st.allocEg[req.Eg])
 	if free < 0 {
 		free = 0

@@ -23,6 +23,9 @@ type Host struct {
 	Inbox [][]byte
 	// Received counts delivered packets.
 	Received int
+	// ReceivedBE counts payloads delivered over the best-effort class after
+	// a session fell back (demoted flow or dead reservation, §3.2).
+	ReceivedBE int
 }
 
 // AddHost attaches a host to an AS.
@@ -42,9 +45,10 @@ func (n *Network) AddHost(ia topology.IA, addr uint32) (*Host, error) {
 // Session is an established end-to-end reservation from the perspective of
 // the source host.
 type Session struct {
-	src   *Host
-	dst   *Host
-	grant *cserv.EERGrant
+	src    *Host
+	dst    *Host
+	grant  *cserv.EERGrant
+	keeper *cserv.EERKeeper
 }
 
 // Data-plane send errors.
@@ -102,6 +106,25 @@ func (s *Session) EnsureFresh(lead uint32) (bool, error) {
 	return true, nil
 }
 
+// Maintain runs one resilient keep-alive step: like EnsureFresh it renews
+// within lead seconds of expiry, but renewal failures degrade gracefully —
+// when the newest version is about to die the flow is demoted to
+// best-effort at the gateway instead of blackholing, and the next
+// successful renewal re-promotes it (§3.2/§4.2). The returned error is the
+// renewal failure, if any; the session keeps working either way.
+func (s *Session) Maintain(lead uint32) error {
+	if s.keeper == nil {
+		node := s.src.net.nodes[s.src.IA]
+		s.keeper = cserv.NewEERKeeper(node.CServ, node.Gateway, s.grant, lead)
+	}
+	err := s.keeper.Tick()
+	s.grant = s.keeper.Grant()
+	return err
+}
+
+// Demoted reports whether Maintain has demoted the session to best-effort.
+func (s *Session) Demoted() bool { return s.keeper != nil && s.keeper.Demoted() }
+
 // PathLen returns the number of on-path ASes.
 func (s *Session) PathLen() int { return len(s.grant.Path) }
 
@@ -118,6 +141,29 @@ func (s *Session) Send(payload []byte) error {
 		return err
 	}
 	return n.forward(buf[:sz], s.src.IA)
+}
+
+// SendOrFallback sends the payload on the reservation, falling back to the
+// best-effort class when the reservation cannot carry it (demoted flow,
+// expired or uninstalled version). It reports whether the payload travelled
+// best-effort. Policing drops (gateway.ErrRateExceeded) and on-path drops
+// stay errors: those packets exceeded the contract or died in transit, and
+// silently resending them would hide real loss.
+func (s *Session) SendOrFallback(payload []byte) (bool, error) {
+	err := s.Send(payload)
+	switch {
+	case err == nil:
+		return false, nil
+	case errors.Is(err, gateway.ErrDemoted),
+		errors.Is(err, gateway.ErrExpired),
+		errors.Is(err, gateway.ErrUnknownRes):
+		// Best-effort SCION forwarding is not simulated; fallback is direct
+		// delivery into the destination's best-effort inbox.
+		s.dst.ReceivedBE++
+		return true, nil
+	default:
+		return false, err
+	}
 }
 
 // forward walks a serialized packet through border routers starting at the

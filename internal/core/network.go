@@ -86,6 +86,10 @@ type Options struct {
 	Policy map[topology.IA]cserv.Policy
 	// DiscoverOpts tunes path discovery.
 	DiscoverOpts segment.DiscoverOpts
+	// WrapTransport, when set, wraps each AS's control-plane transport —
+	// the hook chaos experiments use to insert fault injection and/or
+	// cserv.RetryTransport between a CServ and the fabric.
+	WrapTransport func(ia topology.IA, inner cserv.Transport) cserv.Transport
 	// Telemetry creates one telemetry.Registry per AS and wires CServ,
 	// router, gateway, and flow monitor into it.
 	Telemetry bool
@@ -146,6 +150,10 @@ func NewNetwork(topo *topology.Topology, opts Options) (*Network, error) {
 		// border router.
 		asSecret := cryptoutil.Key{}
 		copy(asSecret[:], secretFor(ia))
+		transport := cserv.Transport(n)
+		if opts.WrapTransport != nil {
+			transport = opts.WrapTransport(ia, transport)
+		}
 		node.CServ = cserv.New(cserv.Config{
 			AS:        topo.AS(ia),
 			Topo:      topo,
@@ -153,7 +161,7 @@ func NewNetwork(topo *topology.Topology, opts Options) (*Network, error) {
 			Engine:    engines[ia],
 			Keys:      drkey.NewStore(ia, n, trust),
 			Directory: n.Directory,
-			Transport: n,
+			Transport: transport,
 			Clock:     n.Clock.NowSec,
 			Policy:    opts.Policy[ia],
 			RateLimit: opts.RateLimit,

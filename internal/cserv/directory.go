@@ -101,6 +101,18 @@ func (d *Directory) chains(src, dst, requester topology.IA, limit int) [][]*Offe
 	}
 	d.mu.RUnlock()
 
+	// The offers map iterates in random order; sort each bucket so chain
+	// enumeration — and therefore path selection and every control-plane
+	// trace downstream of it — is deterministic across runs.
+	for _, bucket := range [][]*Offer{ups, cores, downs} {
+		sort.Slice(bucket, func(i, j int) bool {
+			if bucket[i].ID.SrcAS != bucket[j].ID.SrcAS {
+				return bucket[i].ID.SrcAS < bucket[j].ID.SrcAS
+			}
+			return bucket[i].ID.Num < bucket[j].ID.Num
+		})
+	}
+
 	var out [][]*Offer
 	try := func(chain ...*Offer) {
 		segs := make([]*segment.Segment, len(chain))

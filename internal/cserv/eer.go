@@ -216,8 +216,27 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 	}
 	hop := req.Path[idx]
 	now := s.clock()
+	// Idempotent retry detection (idempotency key: (ID, Ver) with matching
+	// expiry): a lost response leaves every hop downstream of the loss
+	// committed, so a retried request finds its own version here. Answer
+	// from it instead of admitting again — and decide before the renewal
+	// rate limiter, which must not throttle the retry of the very renewal
+	// it just admitted.
+	var dup bool
+	var dupKbps uint64
+	if existing, gerr := s.store.GetEER(req.ID); gerr == nil {
+		for _, v := range existing.Versions {
+			if v.Ver == req.Ver && v.ExpT == req.ExpT {
+				dup, dupKbps = true, v.BwKbps
+				break
+			}
+		}
+	}
+	if dup {
+		s.metrics.DedupHits.Add(1)
+	}
 	// Per-EER renewal rate limiting (§4.2: e.g. one renewal per second).
-	if req.Renewal && !s.renewLim.Allow(req.ID, now) {
+	if req.Renewal && !dup && !s.renewLim.Allow(req.ID, now) {
 		s.metrics.RenewThrottle.Add(1)
 		return fail("renewal rate limit: EER %s already renewed this second", req.ID)
 	}
@@ -249,7 +268,10 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 
 	// Transfer-AS proportional split between up- and core-SegR (§4.7).
 	grant := accum
-	if len(segRs) == 2 && segRs[0].SegType == segment.Up && segRs[1].SegType == segment.Core {
+	if dup {
+		grant = dupKbps
+	}
+	if !dup && len(segRs) == 2 && segRs[0].SegType == segment.Up && segRs[1].SegType == segment.Core {
 		up, core := segRs[0], segRs[1]
 		asked := grant
 		grant = s.transfer.Admit(core.ID, up.ID, asked,
@@ -279,10 +301,19 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 		DstHost: req.DstHost,
 	}
 	v := reservation.Version{Ver: req.Ver, BwKbps: grant, ExpT: req.ExpT}
-	if err := s.store.AdmitEERVersion(eer, localSegIDs, v, now); err != nil {
-		return fail("admission: %v", err)
+	if !dup {
+		if err := s.store.AdmitEERVersion(eer, localSegIDs, v, now); err != nil {
+			return fail("admission: %v", err)
+		}
 	}
-	rollback := func() { _ = s.store.RemoveEERVersion(req.ID, req.Ver) }
+	rollback := func() {
+		if dup {
+			// Retried request over committed state: the original round
+			// owns this version's lifecycle.
+			return
+		}
+		_ = s.store.RemoveEERVersion(req.ID, req.Ver)
+	}
 
 	var resp *EESetupResp
 	if idx == len(req.Path)-1 {

@@ -1,0 +1,97 @@
+package cserv
+
+import (
+	"colibri/internal/cryptoutil"
+	"colibri/internal/packet"
+	"colibri/internal/telemetry"
+)
+
+// GatewayInstaller is the slice of the Colibri gateway the keeper drives:
+// installing renewed versions and demoting/re-promoting flows. Implemented
+// by *gateway.Gateway.
+type GatewayInstaller interface {
+	Install(res packet.ResInfo, eer packet.EERInfo, path []packet.HopField, auths []cryptoutil.Key) error
+	Demote(resID uint32) bool
+	Promote(resID uint32) bool
+}
+
+// EERKeeper keeps one EER alive: it renews within a lead time before
+// expiry, installs fresh versions at the gateway, and implements the
+// failover of §3.2/§4.2 — when renewal keeps failing until the newest
+// version is about to expire, the flow is demoted to best-effort at the
+// gateway instead of blackholing, and the keeper continues trying; the
+// next successful renewal re-promotes the flow to its reserved class.
+//
+// Not safe for concurrent use; drive it from one maintenance loop.
+type EERKeeper struct {
+	svc     *Service
+	gw      GatewayInstaller
+	grant   *EERGrant
+	lead    uint32
+	demoted bool
+
+	// Renewals and Failures count successful and failed renewal attempts.
+	Renewals uint64
+	Failures uint64
+}
+
+// NewEERKeeper builds a keeper for an already-granted (and installed) EER.
+// leadSeconds is how long before expiry renewal starts (clamped to ≥ 1).
+func NewEERKeeper(svc *Service, gw GatewayInstaller, grant *EERGrant, leadSeconds uint32) *EERKeeper {
+	if leadSeconds < 1 {
+		leadSeconds = 1
+	}
+	return &EERKeeper{svc: svc, gw: gw, grant: grant, lead: leadSeconds}
+}
+
+// Grant returns the newest granted version.
+func (k *EERKeeper) Grant() *EERGrant { return k.grant }
+
+// Demoted reports whether the flow is currently demoted to best-effort.
+func (k *EERKeeper) Demoted() bool { return k.demoted }
+
+// Tick runs one maintenance step at the service's current time: a no-op
+// while the newest version is fresh, otherwise a renewal attempt with
+// demotion/re-promotion bookkeeping. The returned error is the renewal
+// failure, if any; the flow keeps working (reserved or best-effort) either
+// way.
+func (k *EERKeeper) Tick() error {
+	now := k.svc.clock()
+	exp := k.grant.Res.ExpT
+	if !k.demoted && exp > now+k.lead {
+		return nil
+	}
+	g, err := k.svc.RenewEER(k.grant, uint64(k.grant.Res.BwKbps))
+	if err == nil && g.Res.BwKbps == 0 && k.grant.Res.BwKbps > 0 {
+		// A zero-bandwidth grant for a flow that had bandwidth is a failed
+		// renewal (the satellite of the SameBandwidth bug): don't install
+		// the dead version, keep serving on the old one.
+		k.svc.metrics.RenewZeroBw.Add(1)
+		err = ErrZeroGrant
+	}
+	if err != nil {
+		k.Failures++
+		// Old versions serve seamlessly until expiry (§4.2), so failure
+		// alone is not demotion; only when the newest version is dead or
+		// dying this second does the flow drop to best-effort.
+		if !k.demoted && exp <= now+1 {
+			k.demoted = true
+			k.gw.Demote(k.grant.Res.ResID)
+			k.svc.metrics.Demotions.Add(1)
+			k.svc.metrics.Trace(int64(now)*1e9, telemetry.EvDemote, k.grant.ID.String(), false, "renewal failed")
+		}
+		return err
+	}
+	if ierr := k.gw.Install(g.Res, g.EER, g.Path, g.HopAuths); ierr != nil {
+		k.Failures++
+		return ierr
+	}
+	k.grant = g
+	k.Renewals++
+	if k.demoted {
+		k.demoted = false
+		k.svc.metrics.Promotions.Add(1)
+		k.svc.metrics.Trace(int64(now)*1e9, telemetry.EvPromote, g.ID.String(), true, "")
+	}
+	return nil
+}

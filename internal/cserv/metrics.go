@@ -27,6 +27,14 @@ type Metrics struct {
 	AuthFailures  *telemetry.Counter
 	RateLimited   *telemetry.Counter
 	RenewThrottle *telemetry.Counter
+	// Resilience counters (see retry.go, keeper.go and the dedup paths in
+	// segr.go/eer.go): retried requests recognized and answered
+	// idempotently, renewals refused for granting zero bandwidth, and
+	// flows demoted to / re-promoted from best-effort.
+	DedupHits   *telemetry.Counter
+	RenewZeroBw *telemetry.Counter
+	Demotions   *telemetry.Counter
+	Promotions  *telemetry.Counter
 
 	reg   *telemetry.Registry
 	trace *telemetry.Tracer
@@ -51,6 +59,10 @@ func (m *Metrics) init(label string, reg *telemetry.Registry) {
 	m.AuthFailures = reg.Counter("cserv.auth_failures")
 	m.RateLimited = reg.Counter("cserv.rate_limited")
 	m.RenewThrottle = reg.Counter("cserv.renew_throttle")
+	m.DedupHits = reg.Counter("cserv.dedup_hits")
+	m.RenewZeroBw = reg.Counter("cserv.renew_zero_bw")
+	m.Demotions = reg.Counter("cserv.demotions")
+	m.Promotions = reg.Counter("cserv.promotions")
 	m.trace = reg.Tracer("cserv.lifecycle", 0)
 }
 
@@ -72,6 +84,8 @@ type MetricsSnapshot struct {
 	EERenewOK, EERenewFail    uint64
 	AuthFailures, RateLimited uint64
 	RenewThrottle             uint64
+	DedupHits, RenewZeroBw    uint64
+	Demotions, Promotions     uint64
 }
 
 // Snapshot copies the counters.
@@ -89,15 +103,20 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		AuthFailures:  m.AuthFailures.Value(),
 		RateLimited:   m.RateLimited.Value(),
 		RenewThrottle: m.RenewThrottle.Value(),
+		DedupHits:     m.DedupHits.Value(),
+		RenewZeroBw:   m.RenewZeroBw.Value(),
+		Demotions:     m.Demotions.Value(),
+		Promotions:    m.Promotions.Value(),
 	}
 }
 
 func (s MetricsSnapshot) String() string {
 	return fmt.Sprintf(
-		"seg setup %d/%d renew %d/%d activate %d | ee setup %d/%d renew %d/%d | auth-fail %d rate-limited %d renew-throttled %d",
+		"seg setup %d/%d renew %d/%d activate %d | ee setup %d/%d renew %d/%d | auth-fail %d rate-limited %d renew-throttled %d | dedup %d zero-bw %d demote %d promote %d",
 		s.SegSetupOK, s.SegSetupFail, s.SegRenewOK, s.SegRenewFail, s.SegActivate,
 		s.EESetupOK, s.EESetupFail, s.EERenewOK, s.EERenewFail,
-		s.AuthFailures, s.RateLimited, s.RenewThrottle)
+		s.AuthFailures, s.RateLimited, s.RenewThrottle,
+		s.DedupHits, s.RenewZeroBw, s.Demotions, s.Promotions)
 }
 
 // renewLimiter enforces §4.2's per-EER renewal rate limit ("CServs can

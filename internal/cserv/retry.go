@@ -1,0 +1,165 @@
+package cserv
+
+import (
+	"errors"
+	"fmt"
+
+	"colibri/internal/telemetry"
+	"colibri/internal/topology"
+)
+
+// Retry/timeout errors. ErrDeadline means the per-request deadline expired
+// before an attempt succeeded; ErrExhausted means every allowed attempt
+// failed within the deadline. Both wrap the last transport error.
+var (
+	ErrDeadline  = errors.New("cserv: request deadline exceeded")
+	ErrExhausted = errors.New("cserv: request retries exhausted")
+)
+
+// RetryPolicy bounds the retry loop of a RetryTransport. The zero value is
+// filled in with the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	MaxAttempts int
+	// BaseBackoffNs is the delay before the first retry; it doubles per
+	// attempt up to MaxBackoffNs.
+	BaseBackoffNs int64
+	MaxBackoffNs  int64
+	// DeadlineNs bounds the whole request including backoff waits.
+	DeadlineNs int64
+	// Seed drives the deterministic jitter stream.
+	Seed uint64
+}
+
+// Default retry parameters (also documented in DESIGN.md §Failure
+// semantics): 4 attempts, 50 ms base backoff doubling to at most 400 ms,
+// all within a 1 s deadline.
+const (
+	DefaultMaxAttempts   = 4
+	DefaultBaseBackoffNs = 50 * 1e6
+	DefaultMaxBackoffNs  = 400 * 1e6
+	DefaultDeadlineNs    = 1e9
+)
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseBackoffNs <= 0 {
+		p.BaseBackoffNs = DefaultBaseBackoffNs
+	}
+	if p.MaxBackoffNs <= 0 {
+		p.MaxBackoffNs = DefaultMaxBackoffNs
+	}
+	if p.DeadlineNs <= 0 {
+		p.DeadlineNs = DefaultDeadlineNs
+	}
+	return p
+}
+
+// RetryTransport wraps a Transport with per-request deadlines and bounded
+// retries using exponential backoff plus deterministic jitter. Time is
+// whatever the Now/Sleep hooks say — in simulations they are driven by
+// virtual time, so retry schedules are reproducible; when both hooks are
+// nil the transport keeps a private virtual clock advanced only by its own
+// backoff waits (calls themselves are instantaneous, as with in-process
+// transports).
+//
+// Retried requests reach committed downstream state: the request handlers
+// in segr.go/eer.go recognize an (ID, Ver) they already hold and answer
+// idempotently instead of double-admitting (see the dedup paths there).
+type RetryTransport struct {
+	Inner  Transport
+	Policy RetryPolicy
+	// Now returns the current virtual time in ns (nil: private clock).
+	Now func() int64
+	// Sleep advances virtual time by d ns (nil: backoff is accounted but
+	// not slept — correct for single-threaded simulations where the caller
+	// owns the clock).
+	Sleep func(d int64)
+
+	// Attempts counts transport calls, Retries the re-tries among them,
+	// Timeouts deadline expiries, and Exhausted attempt-budget expiries.
+	Attempts  *telemetry.Counter
+	Retries   *telemetry.Counter
+	Timeouts  *telemetry.Counter
+	Exhausted *telemetry.Counter
+}
+
+// NewRetryTransport wraps inner, registering the outcome counters on reg
+// (which may be nil for unregistered private counters).
+func NewRetryTransport(inner Transport, policy RetryPolicy, reg *telemetry.Registry) *RetryTransport {
+	if reg == nil {
+		reg = telemetry.NewRegistry("retry")
+	}
+	return &RetryTransport{
+		Inner:     inner,
+		Policy:    policy.withDefaults(),
+		Attempts:  reg.Counter("cserv.rpc_attempts"),
+		Retries:   reg.Counter("cserv.rpc_retries"),
+		Timeouts:  reg.Counter("cserv.rpc_timeouts"),
+		Exhausted: reg.Counter("cserv.rpc_exhausted"),
+	}
+}
+
+// Call implements Transport.
+func (t *RetryTransport) Call(dst topology.IA, msg []byte) ([]byte, error) {
+	pol := t.Policy.withDefaults()
+	var virt int64 // private clock when no Now hook is set
+	now := func() int64 {
+		if t.Now != nil {
+			return t.Now()
+		}
+		return virt
+	}
+	// Jitter stream: deterministic in (seed, destination, message front),
+	// so two runs of the same scenario back off identically while distinct
+	// requests don't retry in lockstep.
+	jseed := pol.Seed ^ uint64(dst)<<24 ^ 0x9e3779b97f4a7c15
+	for _, b := range msg[:min(len(msg), 8)] {
+		jseed = jseed*1099511628211 + uint64(b)
+	}
+	start := now()
+	backoff := pol.BaseBackoffNs
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t.Retries.Add(1)
+		}
+		t.Attempts.Add(1)
+		resp, err := t.Inner.Call(dst, msg)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt == pol.MaxAttempts-1 {
+			break // no point backing off after the final attempt
+		}
+		wait := backoff + int64(splitmix64(jseed+uint64(attempt))%uint64(backoff/2+1))
+		if now()-start+wait >= pol.DeadlineNs {
+			t.Timeouts.Add(1)
+			return nil, fmt.Errorf("%w after %d attempt(s): %v", ErrDeadline, attempt+1, lastErr)
+		}
+		if t.Sleep != nil {
+			t.Sleep(wait)
+		}
+		virt += wait
+		if backoff < pol.MaxBackoffNs {
+			backoff *= 2
+			if backoff > pol.MaxBackoffNs {
+				backoff = pol.MaxBackoffNs
+			}
+		}
+	}
+	t.Exhausted.Add(1)
+	return nil, fmt.Errorf("%w (%d attempts): %v", ErrExhausted, pol.MaxAttempts, lastErr)
+}
+
+// splitmix64 is the same mixing function as netsim.Rand, duplicated to
+// keep cserv free of a netsim dependency.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -166,10 +166,31 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 		MaxKbps: req.MaxKbps,
 	}
 
+	// Idempotent retry detection: a lost response leaves every hop
+	// downstream of the loss committed, so a retried request (same ID and
+	// Ver — the idempotency key — with the same expiry) finds its own
+	// state here. Answer from that state instead of admitting again:
+	// re-running admission on a retry would double-count the reservation.
+	// dupActive additionally marks a renewal whose version was already
+	// activated (response of the activation round lost), where re-creating
+	// a pending version would regress the switch.
+	var dup, dupActive bool
 	var grant uint64
+	if existing, gerr := s.store.GetSegR(req.ID); gerr == nil {
+		switch {
+		case req.Renewal && existing.Pending != nil && existing.Pending.Ver == req.Ver && existing.Pending.ExpT == req.ExpT:
+			dup, grant = true, existing.Pending.BwKbps
+		case req.Renewal && existing.Active.Ver == req.Ver && existing.Active.ExpT == req.ExpT:
+			dup, dupActive, grant = true, true, existing.Active.BwKbps
+		case !req.Renewal && existing.Active.Ver == req.Ver && existing.Active.ExpT == req.ExpT:
+			dup, grant = true, existing.Active.BwKbps
+		}
+	}
 	var undoRenew func()
 	var err error
-	if req.Renewal {
+	if dup {
+		s.metrics.DedupHits.Add(1)
+	} else if req.Renewal {
 		grant, undoRenew, err = s.adm.RenewSegRWithUndo(admReq)
 	} else {
 		grant, err = s.adm.AdmitSegR(admReq)
@@ -178,6 +199,11 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 		return fail("admission: %v", err)
 	}
 	rollback := func() {
+		if dup {
+			// Retried request over committed state: keep it; the original
+			// round owns its lifecycle.
+			return
+		}
 		if req.Renewal {
 			if undoRenew != nil {
 				undoRenew()
@@ -190,7 +216,7 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 	if grant < accum {
 		accum = grant
 	}
-	if !req.Renewal {
+	if !req.Renewal && !dup {
 		segr := &reservation.SegR{
 			ID:      req.ID,
 			SegType: req.SegType,
@@ -222,7 +248,10 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 
 	// Response pass: fix the final grant locally and add our token.
 	final := resp.FinalKbps
-	if req.Renewal {
+	if dupActive {
+		// Version already activated by the original round; nothing to
+		// re-record.
+	} else if req.Renewal {
 		if err := s.store.SetPending(req.ID, reservation.Version{Ver: req.Ver, BwKbps: final, ExpT: req.ExpT}); err != nil {
 			rollback()
 			return fail("pending: %v", err)
@@ -280,6 +309,13 @@ func (s *Service) processSegActivate(req *SegActivateReq, idx int) *SegSetupResp
 	segr, err := s.store.GetSegR(req.ID)
 	if err != nil {
 		return fail("lookup: %v", err)
+	}
+	if segr.Active.Ver == req.Ver {
+		// Retried activation: this hop already switched, and because each
+		// hop commits only after its downstream forward succeeded, every
+		// hop after us is active too — answer OK without forwarding.
+		s.metrics.DedupHits.Add(1)
+		return &SegSetupResp{OK: true, FinalKbps: segr.Active.BwKbps}
 	}
 	if segr.Pending == nil || segr.Pending.Ver != req.Ver {
 		return fail("no pending version %d", req.Ver)

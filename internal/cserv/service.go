@@ -234,9 +234,11 @@ func (s *Service) HandleMsg(data []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		accum := req.BwKbps
-		if req.AccumKbps != 0 && req.AccumKbps < accum {
-			accum = req.AccumKbps
+		// As with accumFromReq: forwarders always set AccumKbps and zero is
+		// a real accumulated grant, not "unset".
+		accum := req.AccumKbps
+		if accum > req.BwKbps {
+			accum = req.BwKbps
 		}
 		resp := s.processEESetup(req, idx, accum)
 		return resp.Marshal(), nil
@@ -260,8 +262,13 @@ func (s *Service) hopIndex(path []PathHop) (int, error) {
 	return 0, ErrNotOnPath
 }
 
+// accumFromReq reads the accumulated grant forwarded by the previous hop.
+// Forwarders always set AccumKbps, and zero is a real value (a renewal can
+// legally be granted 0 kbps upstream), so it must not be read as "unset" —
+// that would resurrect the full demand downstream of a zero grant. The
+// value is clamped to the requested maximum for robustness.
 func accumFromReq(req *SegSetupReq) uint64 {
-	if req.AccumKbps == 0 {
+	if req.AccumKbps > req.MaxKbps {
 		return req.MaxKbps
 	}
 	return req.AccumKbps

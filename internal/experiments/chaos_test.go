@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// reducedChaos keeps the suite fast: 2 flows for 25 s with a 17 s crash —
+// still longer than the 16 s EER lifetime, so demotion must happen.
+var reducedChaos = ChaosConfig{
+	Seed: 7, Loss: 0.05, Seconds: 25, Flows: 2, PktPerSec: 2,
+	CrashFrom: 4, CrashTo: 21,
+}
+
+func TestChaosScenario(t *testing.T) {
+	r, err := RunChaos(reducedChaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §3.2 contract: no packet is blackholed — delivery happens on the
+	// reservation or as best-effort.
+	if r.Blackholed != 0 {
+		t.Errorf("%d packets blackholed", r.Blackholed)
+	}
+	if r.DeliveredBE == 0 {
+		t.Error("no best-effort fallback despite a crash longer than the EER lifetime")
+	}
+	if r.Demotions == 0 || r.Promotions == 0 {
+		t.Errorf("demotions=%d promotions=%d, want both > 0", r.Demotions, r.Promotions)
+	}
+	if r.Promotions < r.Demotions {
+		t.Errorf("demotions=%d promotions=%d: flows not restored after restart",
+			r.Demotions, r.Promotions)
+	}
+	if r.Retries == 0 || r.InjectedDrops == 0 {
+		t.Errorf("retries=%d injected=%d, want both > 0", r.Retries, r.InjectedDrops)
+	}
+	out := FormatChaos(r)
+	if !strings.Contains(out, "zero blackholed") {
+		t.Errorf("format verdict missing:\n%s", out)
+	}
+}
+
+// Same seed, same run: the chaos scenario is a reproducible bug report.
+func TestChaosDeterminism(t *testing.T) {
+	a, err := RunChaos(reducedChaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(reducedChaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("two runs with the same seed differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -49,6 +49,12 @@ type Entry struct {
 	// (which replaces the Entry and bumps the epoch) invalidates every
 	// cached schedule of the old authenticators without any cache walk.
 	epoch uint32
+	// demoted marks a flow whose renewal ultimately failed: Build refuses
+	// it with ErrDemoted so the caller sends best-effort instead of
+	// blackholing on a reservation about to die (§3.2's graceful
+	// degradation). Install of a fresh version clears it (re-promotion).
+	// Atomic because workers read it outside the gateway lock.
+	demoted atomic.Bool
 }
 
 // Options configure optional gateway features.
@@ -70,6 +76,10 @@ var (
 	ErrExpired      = errors.New("gateway: reservation expired")
 	ErrRateExceeded = errors.New("gateway: reservation bandwidth exceeded")
 	ErrBufTooSmall  = errors.New("gateway: output buffer too small")
+	// ErrDemoted means the flow is demoted to best-effort until its next
+	// successful renewal; the caller should send the payload as best-effort
+	// traffic rather than drop it.
+	ErrDemoted = errors.New("gateway: reservation demoted to best-effort")
 )
 
 // Gateway is one AS's Colibri gateway. Install/Remove and Worker.Build are
@@ -99,11 +109,13 @@ type gwTelemetry struct {
 	bucketNs *telemetry.Histogram
 	hvfNs    *telemetry.Histogram
 	pktBytes *telemetry.Histogram
-	built    *telemetry.Counter
-	rejected *telemetry.Counter
-	expired  *telemetry.Counter
-	resident *telemetry.Gauge
-	trace    *telemetry.Tracer
+	built      *telemetry.Counter
+	rejected   *telemetry.Counter
+	expired    *telemetry.Counter
+	demotions  *telemetry.Counter
+	promotions *telemetry.Counter
+	resident   *telemetry.Gauge
+	trace      *telemetry.Tracer
 }
 
 // EnableTelemetry attaches the gateway's instruments to the AS-wide
@@ -116,11 +128,13 @@ func (g *Gateway) EnableTelemetry(reg *telemetry.Registry) {
 		bucketNs: reg.Histogram("gateway.tokenbucket_ns"),
 		hvfNs:    reg.Histogram("gateway.hvf_ns"),
 		pktBytes: reg.Histogram("gateway.pkt_bytes"),
-		built:    reg.Counter("gateway.built"),
-		rejected: reg.Counter("gateway.rejected"),
-		expired:  reg.Counter("gateway.expired"),
-		resident: reg.Gauge("gateway.reservations"),
-		trace:    reg.Tracer("gateway.lifecycle", 0),
+		built:      reg.Counter("gateway.built"),
+		rejected:   reg.Counter("gateway.rejected"),
+		expired:    reg.Counter("gateway.expired"),
+		demotions:  reg.Counter("gateway.demotions"),
+		promotions: reg.Counter("gateway.promotions"),
+		resident:   reg.Gauge("gateway.reservations"),
+		trace:      reg.Tracer("gateway.lifecycle", 0),
 	}
 	g.mu.RLock()
 	t.resident.Set(int64(len(g.byID)))
@@ -160,20 +174,75 @@ func (g *Gateway) Install(res packet.ResInfo, eer packet.EERInfo, path []packet.
 		epoch:       g.installSeq.Add(1),
 	}
 	g.mu.Lock()
-	if old, ok := g.byID[res.ResID]; ok && old.MonitorKbps > e.MonitorKbps {
-		// All versions share one monitored budget: the maximum (§4.8).
-		e.MonitorKbps = old.MonitorKbps
+	promoted := false
+	if old, ok := g.byID[res.ResID]; ok {
+		if old.MonitorKbps > e.MonitorKbps {
+			// All versions share one monitored budget: the maximum (§4.8).
+			e.MonitorKbps = old.MonitorKbps
+		}
+		// A fresh version over a demoted flow re-promotes it to its
+		// reserved class (the new entry starts undemoted).
+		promoted = old.demoted.Load()
 	}
 	g.byID[res.ResID] = e
 	n := len(g.byID)
 	g.mu.Unlock()
 	if t := g.tel.Load(); t != nil {
 		t.resident.Set(int64(n))
+		if promoted {
+			t.promotions.Add(1)
+			t.trace.Record(int64(res.ExpT)*1e9, telemetry.EvPromote,
+				reservation.ID{SrcAS: g.srcAS, Num: res.ResID}.String(), true, "renewed")
+		}
 	}
 	// Pre-create the monitoring state so the per-packet path never
 	// allocates.
 	g.mon.Ensure(reservation.ID{SrcAS: g.srcAS, Num: res.ResID}, e.MonitorKbps, 0)
 	return nil
+}
+
+// Demote marks a flow as best-effort-only: Build returns ErrDemoted for it
+// until a fresh version is installed or Promote is called. It reports
+// whether the flow transitioned (false: unknown or already demoted).
+func (g *Gateway) Demote(resID uint32) bool {
+	g.mu.RLock()
+	e, ok := g.byID[resID]
+	g.mu.RUnlock()
+	changed := ok && e.demoted.CompareAndSwap(false, true)
+	if changed {
+		if t := g.tel.Load(); t != nil {
+			t.demotions.Add(1)
+			t.trace.Record(0, telemetry.EvDemote,
+				reservation.ID{SrcAS: g.srcAS, Num: resID}.String(), false, "renewal failed")
+		}
+	}
+	return changed
+}
+
+// Promote clears a flow's demotion without reinstalling (e.g. when the old
+// version turns out to still be serving). It reports whether the flow
+// transitioned.
+func (g *Gateway) Promote(resID uint32) bool {
+	g.mu.RLock()
+	e, ok := g.byID[resID]
+	g.mu.RUnlock()
+	changed := ok && e.demoted.CompareAndSwap(true, false)
+	if changed {
+		if t := g.tel.Load(); t != nil {
+			t.promotions.Add(1)
+			t.trace.Record(0, telemetry.EvPromote,
+				reservation.ID{SrcAS: g.srcAS, Num: resID}.String(), true, "")
+		}
+	}
+	return changed
+}
+
+// Demoted reports whether the flow is currently demoted.
+func (g *Gateway) Demoted(resID uint32) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.byID[resID]
+	return ok && e.demoted.Load()
 }
 
 // Remove drops an EER's state (expiry).
@@ -387,6 +456,11 @@ func (w *Worker) BuildBatch(reqs []BuildReq, outs []BuildRes, nowNs int64) int {
 		}
 		if nowSec >= e.Res.ExpT {
 			outs[i].Err = ErrExpired
+			w.entries[i] = nil
+			continue
+		}
+		if e.demoted.Load() {
+			outs[i].Err = ErrDemoted
 			w.entries[i] = nil
 			continue
 		}

@@ -50,6 +50,11 @@ func BurstBytesFor(rateKbps uint64) float64 {
 // Allow refills the bucket to time nowNs and consumes sizeBytes if
 // available, reporting whether the packet conforms. Non-conforming packets
 // consume nothing ("packets are simply dropped").
+//
+// Timestamps need not be monotone: a nowNs at or before the last refill
+// (clock regression, reordered batches) refills nothing and must not move
+// lastNs backwards — a backwards lastNs would let the next in-order packet
+// double-refill the interval.
 func (tb *TokenBucket) Allow(nowNs int64, sizeBytes uint32) bool {
 	if nowNs > tb.lastNs {
 		tb.tokens += float64(nowNs-tb.lastNs) * tb.rate

@@ -172,3 +172,65 @@ func BenchmarkFlowMonitorAllow(b *testing.B) {
 		m.Allow(rid(uint32(i)%1024), 8000, 1000, int64(i)*1000)
 	}
 }
+
+// TestTokenBucketClockRegression locks in the non-monotonic-timestamp
+// semantics: a packet stamped before the last refill gets no tokens and
+// must not move the refill clock backwards (which would let the next
+// in-order packet double-refill the interval).
+func TestTokenBucketClockRegression(t *testing.T) {
+	// 8 Mbps, burst 1500 bytes. rate = 1 byte/µs.
+	tb := NewTokenBucket(8_000, 1500, 1e9)
+	if !tb.Allow(1e9, 1500) {
+		t.Fatal("burst-sized packet did not conform on a full bucket")
+	}
+	// Bucket is empty. A regressed timestamp must neither refill nor
+	// admit.
+	if tb.Allow(1e9-5e6, 100) {
+		t.Error("packet admitted from an empty bucket on a regressed clock")
+	}
+	if tb.lastNs != 1e9 {
+		t.Errorf("regressed timestamp moved lastNs to %d", tb.lastNs)
+	}
+	// 1 ms forward refills exactly 1000 bytes — once.
+	if !tb.Allow(1e9+1e6, 1000) {
+		t.Error("refilled packet dropped")
+	}
+	if tb.Allow(1e9+1e6, 1) {
+		t.Error("over-refill: more than 1000 bytes after 1 ms")
+	}
+	// Regress again, then return to the same instant: no double refill.
+	if tb.Allow(1e9, 1) {
+		t.Error("regressed packet admitted")
+	}
+	if tb.Allow(1e9+1e6, 1) {
+		t.Error("interval was refilled twice after a clock regression")
+	}
+}
+
+// TestFlowMonitorClockRegression exercises the same guarantee through
+// Allow and AllowBatch, which share buckets across differently-stamped
+// calls.
+func TestFlowMonitorClockRegression(t *testing.T) {
+	m := NewFlowMonitor()
+	id := rid(1)
+	// Drain the burst at t=1s.
+	if !m.Allow(id, 8_000, uint32(BurstBytesFor(8_000)), 1e9) {
+		t.Fatal("burst did not conform")
+	}
+	// A batch stamped in the past must not refill the drained bucket.
+	ids := []reservation.ID{id, id}
+	rates := []uint64{8_000, 8_000}
+	sizes := []uint32{100, 0} // second entry is a hole
+	allowed := make([]bool, 2)
+	m.AllowBatch(ids, rates, sizes, 1e9-1e6, allowed)
+	if allowed[0] {
+		t.Error("regressed batch packet admitted from an empty bucket")
+	}
+	if allowed[1] {
+		t.Error("hole entry reported allowed")
+	}
+	// Forward progress still refills normally.
+	if !m.Allow(id, 8_000, 1000, 1e9+1e6) {
+		t.Error("refilled packet dropped after regression")
+	}
+}

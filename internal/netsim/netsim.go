@@ -150,6 +150,9 @@ type Port struct {
 	// free recycles burst slices between events, keeping burst delivery
 	// allocation-free in steady state.
 	free [][]*Packet
+	// faults optionally injects loss, jitter, and down windows (see
+	// faults.go); nil means a perfect link.
+	faults *FaultPlan
 
 	// Sent counts delivered bytes per class (at the sending side).
 	Sent [qos.NumClasses]uint64
@@ -201,6 +204,9 @@ func (p *Port) QueuedBytes(c qos.Class) int { return p.sched.QueuedBytes(c) }
 // Send enqueues a packet for transmission; drops follow the scheduler's
 // per-class limits.
 func (p *Port) Send(pkt *Packet) {
+	if !p.faults.Admit(p.sim.Now()) {
+		return
+	}
 	if !p.sched.Enqueue(pkt, pkt.Class, pkt.WireSize) {
 		return
 	}
@@ -237,7 +243,7 @@ func (p *Port) transmitNext() {
 	if serNs < 1 {
 		serNs = 1
 	}
-	dst, dstPort, lat := p.dst, p.dstPort, p.latencyNs
+	dst, dstPort, lat := p.dst, p.dstPort, p.latencyNs+p.faults.Jitter()
 	p.sim.After(serNs, func() {
 		p.sim.After(lat, func() {
 			deliverBurst(dst, burst, dstPort)

@@ -114,6 +114,21 @@ func (s *Store) SetPending(id ID, v Version) error {
 	return nil
 }
 
+// ClearPending discards a pending version that will never be activated
+// (e.g. a renewal that was ultimately refused or granted zero bandwidth),
+// so the SegR becomes due for renewal again instead of being stuck behind
+// a dead pending version.
+func (s *Store) ClearPending(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.segs[id]
+	if !ok {
+		return fmt.Errorf("%w: SegR %s", ErrNotFound, id)
+	}
+	r.Pending = nil
+	return nil
+}
+
 // ActivatePending switches the SegR to its pending version. It fails with
 // ErrOverAllocation if already-admitted EER bandwidth would exceed the new
 // version ("ensure that no over-allocation with EERs can occur").

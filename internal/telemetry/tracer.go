@@ -9,7 +9,8 @@ import (
 type EventKind uint8
 
 // Lifecycle event kinds: segment-reservation setup/renewal/activation, EER
-// setup/renewal/expiry, and data-plane drop verdicts.
+// setup/renewal/expiry, data-plane drop verdicts, and best-effort
+// demotion/re-promotion of flows whose renewal failed/recovered.
 const (
 	EvSegSetup EventKind = iota + 1
 	EvSegRenew
@@ -18,6 +19,8 @@ const (
 	EvEERenew
 	EvEEExpire
 	EvDrop
+	EvDemote
+	EvPromote
 )
 
 func (k EventKind) String() string {
@@ -36,6 +39,10 @@ func (k EventKind) String() string {
 		return "ee-expire"
 	case EvDrop:
 		return "drop"
+	case EvDemote:
+		return "demote"
+	case EvPromote:
+		return "promote"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
