@@ -11,6 +11,7 @@ package colibri_test
 import (
 	"fmt"
 	"math/rand"
+	"os/exec"
 	"testing"
 
 	"colibri/internal/admission"
@@ -439,4 +440,19 @@ func BenchmarkCServThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkVetSelf measures the colibri-vet invariant gate on this
+// repository — the fixed cost every CI run and pre-commit hook pays. It
+// shells out exactly as CI does (`go run ./cmd/colibri-vet -json ./...`),
+// so the figure includes toolchain start-up and the nomalloc check's
+// escape-analysis rebuilds, and it fails if the tree is not clean.
+func BenchmarkVetSelf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmd := exec.Command("go", "run", "./cmd/colibri-vet", "-json", "./...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			b.Fatalf("colibri-vet failed: %v\n%s", err, out)
+		}
+	}
 }

@@ -1,0 +1,107 @@
+// errcheck.go — check "errors": a dropped error in internal/ is a silent
+// protocol violation waiting to be measured as a mystery (a failed renewal
+// that looks like loss, a short write that corrupts a figure). Statements
+// that call a function returning an error without consuming any result are
+// flagged.
+//
+// Deliberate discards stay cheap and visible: assign to blank (`_ = f()`).
+// Excluded by policy: _test.go files, and fmt.Fprint* into in-memory sinks
+// (*strings.Builder, *bytes.Buffer) whose Write cannot fail.
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const checkErrors = "errors"
+
+type errcheckCheck struct{}
+
+func (c *errcheckCheck) Run(p *Pkg, r *Reporter) {
+	if !strings.Contains(p.ImportPath, "/internal/") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if cl, ok := n.X.(*ast.CallExpr); ok {
+					call = cl
+				}
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(call, p.Info) {
+				return true
+			}
+			if isFprintToBuffer(call, p.Info) {
+				return true
+			}
+			r.Report(call.Pos(), checkErrors,
+				"unchecked error returned by %s: handle it or discard explicitly with _ =", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's type is error or a tuple whose
+// last element is error.
+func returnsError(call *ast.CallExpr, info *types.Info) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	named, ok := last.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil // the universe error type
+}
+
+// isFprintToBuffer reports whether call is fmt.Fprint/Fprintf/Fprintln whose
+// writer is an in-memory sink that cannot fail.
+func isFprintToBuffer(call *ast.CallExpr, info *types.Info) bool {
+	pkgPath, fn := pkgFuncCall(call, info)
+	if pkgPath != "fmt" || !strings.HasPrefix(fn, "Fprint") || len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	s := tv.Type.String()
+	return s == "*strings.Builder" || s == "*bytes.Buffer" ||
+		s == "strings.Builder" || s == "bytes.Buffer"
+}
+
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

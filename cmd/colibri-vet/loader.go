@@ -1,0 +1,288 @@
+// loader.go locates the module, enumerates its package directories and
+// type-checks each one with full cross-package information — without
+// golang.org/x/tools: module-internal imports are resolved by recursively
+// loading the sibling directory, standard-library imports by the stdlib
+// source importer (go/importer "source"), which needs only GOROOT/src.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Pkg is one loaded, type-checked package directory.
+type Pkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Files      []*ast.File // non-test files surviving build-tag filtering
+	Info       *types.Info
+	TypesPkg   *types.Package
+	TypeErrs   []error
+}
+
+// Loader loads and caches the module's packages.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	std   types.ImporterFrom
+	cache map[string]*Pkg
+}
+
+// NewLoader finds the enclosing module of dir by walking up to go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "module ") {
+			modPath = strings.Trim(strings.TrimSpace(strings.TrimPrefix(line, "module")), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		cache:   map[string]*Pkg{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// PackageDirs expands a pattern relative to the working directory into the
+// module's package directories. Supported forms: "./...", "dir/...", "dir",
+// ".". Directories named testdata, vendor or starting with "." or "_" are
+// skipped, as are directories without non-test .go files.
+func (l *Loader) PackageDirs(cwd, pattern string) ([]string, error) {
+	base := cwd
+	rec := false
+	p := pattern
+	if p == "..." || strings.HasSuffix(p, "/...") {
+		rec = true
+		p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+	}
+	if p != "" && p != "." {
+		base = filepath.Join(cwd, p)
+	}
+	base, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	if !rec {
+		if hasGoFiles(base) {
+			dirs = append(dirs, base)
+		}
+		return dirs, nil
+	}
+	err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		// Nested modules are separate analysis roots.
+		if path != base {
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// ImportPathFor maps a directory inside the module to its import path.
+func (l *Loader) ImportPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.ModRoot)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load parses and type-checks the package in dir (cached by import path).
+// Test files are excluded; files whose build constraints do not match the
+// default tag set (GOOS, GOARCH, no "race") are skipped so that mutually
+// exclusive file pairs like race_on.go/race_off.go don't collide.
+func (l *Loader) Load(dir string) (*Pkg, error) {
+	ip, err := l.ImportPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(ip, dir)
+}
+
+func (l *Loader) load(importPath, dir string) (*Pkg, error) {
+	if p, ok := l.cache[importPath]; ok {
+		return p, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !buildTagsMatch(f) {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			// Mixed package clauses (shouldn't happen outside testdata).
+			continue
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	p := &Pkg{ImportPath: importPath, Dir: dir, Name: pkgName, Files: files, Info: info}
+	l.cache[importPath] = p // pre-insert: harmless for acyclic imports, and Go forbids cycles
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+	}
+	tp, err := conf.Check(importPath, l.Fset, files, info)
+	p.TypesPkg = tp
+	if err != nil && tp == nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		p, err := l.load(path, filepath.Join(l.ModRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if p.TypesPkg == nil {
+			return nil, fmt.Errorf("type-checking %s failed", path)
+		}
+		return p.TypesPkg, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// buildTagsMatch evaluates a file's //go:build constraint against the host
+// GOOS/GOARCH with no extra tags (so "!race" files are kept, "race" files
+// skipped — matching the default build the analyzer reasons about).
+func buildTagsMatch(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc":
+					return true
+				}
+				// go1.x version tags are all satisfied by the current toolchain.
+				if strings.HasPrefix(tag, "go1.") {
+					return true
+				}
+				return false
+			})
+		}
+	}
+	return true
+}

@@ -1,0 +1,369 @@
+// locks.go — check "locks": two rules about sync.Mutex/RWMutex usage.
+//
+//  1. Release on every path: a lock acquired in a function (x.Lock() /
+//     x.RLock()) must be released before every return that can execute
+//     while it is held — either by a defer registered while held or by an
+//     explicit Unlock/RUnlock on the path. The walker tracks held locks
+//     through if/else, for, switch, select and blocks; it is intentionally
+//     conservative and keyed by the receiver expression's source text.
+//
+//  2. No exporter calls under a lock: rendering telemetry (WriteText,
+//     WriteJSON, Registry.Snapshot) does I/O and takes registry locks;
+//     calling it while holding a mutex invites lock-order inversions and
+//     stalls the hot path the mutex protects.
+package main
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const checkLocks = "locks"
+
+type locksCheck struct{}
+
+func (c *locksCheck) Run(p *Pkg, r *Reporter) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pkg: p, rep: r, fset: r.fset}
+			end := w.block(fd.Body.List, newLockState())
+			// Falling off the end of the body is an implicit return.
+			if end != nil {
+				for key, info := range end.held {
+					if info.deferred {
+						continue
+					}
+					w.rep.Report(fd.Body.Rbrace, checkLocks,
+						"function %s ends with %s still held (acquired at %s): release on every path or defer the unlock",
+						fd.Name.Name, key+lockKindSuffix(info), w.rep.PosString(info.pos))
+				}
+			}
+		}
+	}
+}
+
+// lockState is the set of locks held at a program point, keyed by the
+// rendered receiver expression ("g.mu", "r.mu"); the value records the
+// acquisition position and kind (read/write) for diagnostics.
+type lockState struct {
+	held map[string]lockInfo
+}
+
+type lockInfo struct {
+	pos  token.Pos
+	read bool
+	// deferred marks a lock whose release is already registered with defer:
+	// it no longer leaks at returns, but the critical section still extends
+	// to the end of the function, so exporter calls under it stay findings.
+	deferred bool
+}
+
+func newLockState() *lockState { return &lockState{held: map[string]lockInfo{}} }
+
+func (s *lockState) clone() *lockState {
+	n := newLockState()
+	for k, v := range s.held {
+		n.held[k] = v
+	}
+	return n
+}
+
+type lockWalker struct {
+	pkg  *Pkg
+	rep  *Reporter
+	fset *token.FileSet
+}
+
+// lockCall classifies expr as a mutex operation on a sync.Mutex/RWMutex
+// receiver: returns the receiver key and the method name, or "" when expr is
+// not a mutex op.
+func (w *lockWalker) lockCall(call *ast.CallExpr) (key, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", ""
+	}
+	// The receiver must be (or embed) a sync mutex: resolve the method's
+	// package through the selection.
+	if selInfo, ok := w.pkg.Info.Selections[sel]; ok {
+		if fn, ok := selInfo.Obj().(*types.Func); ok {
+			if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return "", ""
+			}
+		}
+	} else {
+		// Unresolvable (e.g. partial type info): fall back to the method
+		// name heuristic, which is what the receiver-text key needs anyway.
+		recvT := w.pkg.Info.Types[sel.X].Type
+		if recvT == nil || !strings.Contains(recvT.String(), "sync.") {
+			return "", ""
+		}
+	}
+	return exprKey(w.fset, sel.X), sel.Sel.Name
+}
+
+// exprKey renders an expression as its source text, the identity used to
+// match Lock sites with Unlock sites.
+func exprKey(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	_ = printer.Fprint(&b, fset, e)
+	return b.String()
+}
+
+// telemetryExporterCall reports whether call enters a telemetry exporter:
+// a package-level function of a "telemetry" package whose name starts with
+// Write, or the Snapshot method of its Registry.
+func (w *lockWalker) telemetryExporterCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkgPath, fn := pkgFuncCall(call, w.pkg.Info); pkgPath != "" {
+		if pathBase(pkgPath) == "telemetry" && strings.HasPrefix(fn, "Write") {
+			return "telemetry." + fn, true
+		}
+		return "", false
+	}
+	if selInfo, ok := w.pkg.Info.Selections[sel]; ok && sel.Sel.Name == "Snapshot" {
+		recv := selInfo.Recv().String()
+		if strings.HasSuffix(recv, "telemetry.Registry") || strings.HasSuffix(recv, "*telemetry.Registry") {
+			return "Registry.Snapshot", true
+		}
+	}
+	return "", false
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// block walks a statement list with the current lock state, reporting
+// returns that leak a held lock, and returns the state at fall-through.
+// Terminal statements (return, panic) yield a nil state.
+func (w *lockWalker) block(stmts []ast.Stmt, st *lockState) *lockState {
+	for _, s := range stmts {
+		st = w.stmt(s, st)
+		if st == nil {
+			return nil
+		}
+	}
+	return st
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) *lockState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			st = w.call(call, st)
+		}
+		return st
+	case *ast.DeferStmt:
+		if key, m := w.lockCall(s.Call); key != "" {
+			switch m {
+			case "Unlock", "RUnlock":
+				// A deferred release covers every later return, but the lock
+				// stays held until the function exits for rule 2's purposes.
+				if info, ok := st.held[key]; ok {
+					info.deferred = true
+					st.held[key] = info
+				}
+			}
+		}
+		return st
+	case *ast.ReturnStmt:
+		// Result expressions are evaluated before any deferred unlock runs.
+		for _, e := range s.Results {
+			w.exprCalls(e, st)
+		}
+		for key, info := range st.held {
+			if info.deferred {
+				continue
+			}
+			w.rep.Report(s.Pos(), checkLocks,
+				"return while %s is still held (acquired at %s): release on every path or defer the unlock",
+				key+lockKindSuffix(info), w.rep.PosString(info.pos))
+		}
+		return nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		w.exprCalls(s.Cond, st)
+		thenSt := w.block(s.Body.List, st.clone())
+		var elseSt *lockState
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseSt = w.block(e.List, st.clone())
+			case *ast.IfStmt:
+				elseSt = w.stmt(e, st.clone())
+			}
+		} else {
+			elseSt = st.clone()
+		}
+		return mergeStates(thenSt, elseSt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		body := w.block(s.Body.List, st.clone())
+		// Fall-through state: a loop may run zero times; merge entry state
+		// with the body's exit state.
+		return mergeStates(st, body)
+	case *ast.RangeStmt:
+		body := w.block(s.Body.List, st.clone())
+		return mergeStates(st, body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, st)
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.exprCalls(e, st)
+		}
+		return st
+	case *ast.GoStmt:
+		// The goroutine body runs later; its lock usage is its own function's
+		// problem. Nothing changes for the current state.
+		return st
+	default:
+		return st
+	}
+}
+
+// call applies a mutex operation or checks an exporter call, and scans
+// arguments for nested calls.
+func (w *lockWalker) call(call *ast.CallExpr, st *lockState) *lockState {
+	if key, m := w.lockCall(call); key != "" {
+		switch m {
+		case "Lock":
+			st.held[key] = lockInfo{pos: call.Pos(), read: false}
+		case "RLock":
+			st.held[key] = lockInfo{pos: call.Pos(), read: true}
+		case "Unlock", "RUnlock":
+			delete(st.held, key)
+		}
+		return st
+	}
+	if name, ok := w.telemetryExporterCall(call); ok && len(st.held) > 0 {
+		for key := range st.held {
+			w.rep.Report(call.Pos(), checkLocks,
+				"%s called while holding %s: export outside the critical section", name, key)
+		}
+	}
+	for _, a := range call.Args {
+		w.exprCalls(a, st)
+	}
+	return st
+}
+
+// exprCalls flags exporter calls nested inside an expression (conditions,
+// assignments) evaluated while locks are held.
+func (w *lockWalker) exprCalls(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := w.telemetryExporterCall(call); ok && len(st.held) > 0 {
+				for key := range st.held {
+					w.rep.Report(call.Pos(), checkLocks,
+						"%s called while holding %s: export outside the critical section", name, key)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// branches walks each case clause of a switch/select independently and
+// merges the fall-through states.
+func (w *lockWalker) branches(s ast.Stmt, st *lockState) *lockState {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var out *lockState
+	sawDefault := false
+	for _, cc := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cc.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+			if cc.List == nil {
+				sawDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cc.Body
+			if cc.Comm == nil {
+				sawDefault = true
+			}
+		}
+		out = mergeStates(out, w.block(stmts, st.clone()))
+	}
+	if !sawDefault || out == nil {
+		// Without a default the switch may fall through unmatched.
+		out = mergeStates(out, st)
+	}
+	return out
+}
+
+// mergeStates joins two fall-through states: a lock is held after the join
+// if it is held on any branch that can fall through (conservative: flags
+// the branch that forgot to unlock at the next return).
+func mergeStates(a, b *lockState) *lockState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a.clone()
+	for k, v := range b.held {
+		if _, ok := out.held[k]; !ok {
+			out.held[k] = v
+		}
+	}
+	return out
+}
+
+func lockKindSuffix(info lockInfo) string {
+	if info.read {
+		return " (RLock)"
+	}
+	return ""
+}

@@ -1,0 +1,134 @@
+// telemetrycheck.go — check "telemetry": instrument names are a public,
+// grep-able contract between the code, EXPERIMENTS.md and any dashboards
+// parsing exporter output, so they are held to two rules:
+//
+//  1. Naming convention: every name passed to Registry.Counter / Gauge /
+//     Histogram / Tracer must be a literal matching
+//     `component.metric[_unit]` — lowercase dotted segments, underscores
+//     inside a segment only ("gateway.lookup_ns"). Dynamic (non-literal)
+//     names defeat grep and risk unbounded-cardinality registries, and are
+//     flagged too.
+//
+//  2. Registered once: the same name must not be registered at two distinct
+//     call sites — whether as two different instrument kinds (a hard
+//     conflict: the registry would hold two instruments with one name) or
+//     twice as the same kind (two components silently sharing or shadowing
+//     one series). Re-resolving in the same call site (loops, multiple
+//     instances) is fine: identity is the source position.
+//
+// The check is module-wide: registrations are collected per package and
+// reconciled after the last package is analyzed.
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+const checkTelemetry = "telemetry"
+
+var instrumentKinds = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "Tracer": true}
+
+// nameRe is the registry naming convention.
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*(_[a-z0-9]+)*)+$`)
+
+// registration is one Registry.<Kind>("name") call site.
+type registration struct {
+	name string
+	kind string
+	pos  token.Pos
+}
+
+type telemetryCheck struct {
+	regs []registration
+}
+
+func (c *telemetryCheck) Run(p *Pkg, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !instrumentKinds[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			if !c.isRegistryMethod(sel, p.Info) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				r.Report(call.Args[0].Pos(), checkTelemetry,
+					"dynamic instrument name passed to Registry.%s: use a literal so the series is grep-able and cardinality bounded", sel.Sel.Name)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !nameRe.MatchString(name) {
+				r.Report(lit.Pos(), checkTelemetry,
+					"instrument name %q violates the component.metric[_unit] convention (lowercase dotted segments)", name)
+			}
+			c.regs = append(c.regs, registration{name: name, kind: sel.Sel.Name, pos: call.Pos()})
+			return true
+		})
+	}
+}
+
+// isRegistryMethod reports whether sel is a method call on a type named
+// Registry declared in a package named telemetry (matched structurally so
+// fixture modules with a mini telemetry package exercise the check too).
+func (c *telemetryCheck) isRegistryMethod(sel *ast.SelectorExpr, info *types.Info) bool {
+	selInfo, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := selInfo.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && pathBase(obj.Pkg().Path()) == "telemetry"
+}
+
+// Finish reconciles registrations across all analyzed packages.
+func (c *telemetryCheck) Finish(r *Reporter) {
+	byName := map[string][]registration{}
+	for _, reg := range c.regs {
+		byName[reg.name] = append(byName[reg.name], reg)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		regs := byName[n]
+		if len(regs) < 2 {
+			continue
+		}
+		sort.Slice(regs, func(i, j int) bool { return regs[i].pos < regs[j].pos })
+		first := regs[0]
+		for _, dup := range regs[1:] {
+			if dup.kind != first.kind {
+				r.Report(dup.pos, checkTelemetry,
+					"instrument %q registered as %s here but as %s at %s: one name, one kind",
+					n, dup.kind, first.kind, r.PosString(first.pos))
+			} else {
+				r.Report(dup.pos, checkTelemetry,
+					"instrument %q already registered at %s: register once and share the handle (or rename the series)",
+					n, r.PosString(first.pos))
+			}
+		}
+	}
+}

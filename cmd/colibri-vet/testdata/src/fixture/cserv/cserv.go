@@ -1,0 +1,13 @@
+// Package cserv is the acceptance-checklist fixture for the determinism
+// check's map rule: an unsorted map range whose order escapes into the
+// result, exactly the seeded bug class the analyzer must catch.
+package cserv
+
+// Chains returns offers in map order: finding.
+func Chains(offers map[uint64]string) []string {
+	var out []string
+	for _, o := range offers {
+		out = append(out, o)
+	}
+	return out
+}

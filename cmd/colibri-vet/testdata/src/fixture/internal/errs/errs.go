@@ -1,0 +1,42 @@
+// Package errs is the errcheck fixture; its import path contains /internal/
+// so dropped errors are findings, while handled, explicitly discarded and
+// in-memory-sink cases stay clean.
+package errs
+
+import (
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func produce() (int, error) { return 0, nil }
+
+// Bad drops two errors: two findings.
+func Bad() {
+	mayFail()
+	go mayFail()
+}
+
+// Good consumes or explicitly discards every error: clean.
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	n, err := produce()
+	_ = n
+	return err
+}
+
+// BuilderSink is excluded by policy (Fprintf into an in-memory sink): clean.
+func BuilderSink() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	return b.String()
+}
+
+// Suppressed documents a deliberate fire-and-forget: suppressed.
+func Suppressed() {
+	mayFail() //colibri:allow(errors) — fixture: fire-and-forget probe
+}

@@ -1,0 +1,72 @@
+// Package locks is the lock-discipline fixture: early returns and implicit
+// returns with a mutex held, and exporter calls inside critical sections,
+// must be flagged; deferred and per-path releases must not.
+package locks
+
+import (
+	"sync"
+
+	"fixture/telemetry"
+)
+
+// S guards a counter.
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LeakOnEarlyReturn returns with s.mu held on the positive path: finding.
+func (s *S) LeakOnEarlyReturn(x int) int {
+	s.mu.Lock()
+	if x > 0 {
+		return x
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// ForgetsUnlock falls off the end with s.mu held: finding.
+func (s *S) ForgetsUnlock() {
+	s.mu.Lock()
+	s.n++
+}
+
+// ExportUnderLock renders telemetry inside the critical section: finding.
+func (s *S) ExportUnderLock(reg *telemetry.Registry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return telemetry.WriteText(reg)
+}
+
+// DeferredUnlock releases on every path: clean.
+func (s *S) DeferredUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}
+
+// PerPathUnlock releases explicitly on both paths: clean.
+func (s *S) PerPathUnlock(x int) int {
+	s.mu.Lock()
+	if x > 0 {
+		s.mu.Unlock()
+		return x
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// SnapshotOutside exports after releasing the lock: clean.
+func (s *S) SnapshotOutside(reg *telemetry.Registry) map[string]int64 {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return reg.Snapshot()
+}
+
+// SuppressedLeak hands lock ownership to the caller by contract: suppressed.
+func (s *S) SuppressedLeak() {
+	s.mu.Lock()
+	return //colibri:allow(locks) — fixture: ownership handed to caller
+}

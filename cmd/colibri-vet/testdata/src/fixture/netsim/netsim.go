@@ -1,0 +1,60 @@
+// Package netsim is the determinism fixture: its name places it in the
+// analyzer's deterministic set, so the wall-clock reads, global randomness
+// and order-sensitive map iteration below must be flagged, while the seeded
+// and order-insensitive shapes must not.
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BadNow reads the wall clock: finding.
+func BadNow() int64 {
+	return time.Now().UnixNano()
+}
+
+// BadGlobalRand draws from the process-global source: finding.
+func BadGlobalRand() int {
+	return rand.Intn(6)
+}
+
+// BadRange leaks map iteration order into the returned slice: finding.
+func BadRange(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodSeeded uses an explicitly seeded generator: clean.
+func GoodSeeded() int {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Intn(6)
+}
+
+// GoodFold accumulates order-insensitively: clean.
+func GoodFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodCollectSorted sorts the collected keys before they escape: clean.
+func GoodCollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SuppressedNow documents an audited wall-clock read: suppressed.
+func SuppressedNow() int64 {
+	return time.Now().UnixNano() //colibri:allow(determinism) — fixture: audited read
+}

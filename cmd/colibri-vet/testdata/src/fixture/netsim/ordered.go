@@ -1,0 +1,12 @@
+//colibri:ordered — fixture: this file asserts its map ranges are audited.
+
+package netsim
+
+// OptedOut ranges a map in a file carrying //colibri:ordered: clean.
+func OptedOut(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// Package tel is the telemetry-discipline fixture: names off the
+// component.metric[_unit] convention, dynamic names, kind conflicts and
+// duplicate registrations must be flagged; conforming one-time
+// registrations must not.
+package tel
+
+import "fixture/telemetry"
+
+// Wire registers this fixture's instruments.
+func Wire(reg *telemetry.Registry, dyn string) {
+	reg.Counter("tel.good_total")
+	reg.Counter("BadName")
+	reg.Counter(dyn)
+	reg.Counter(dyn) //colibri:allow(telemetry) — fixture: bounded enum suffix
+	reg.Gauge("tel.depth")
+	reg.Counter("tel.depth")
+	reg.Histogram("tel.lat_ns")
+}
+
+// WireAgain re-registers a series owned by Wire: finding.
+func WireAgain(reg *telemetry.Registry) {
+	reg.Histogram("tel.lat_ns")
+}

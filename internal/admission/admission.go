@@ -122,8 +122,8 @@ func NewState(as *topology.AS, split TrafficSplit) *State {
 		allocEg: make(map[topology.IfID]uint64),
 		entries: make(map[reservation.ID]entry),
 	}
-	for id, intf := range as.Interfaces {
-		c := float64(split.EERShare(intf.CapacityKbps()))
+	for _, id := range as.SortedIfIDs() {
+		c := float64(split.EERShare(as.Interfaces[id].CapacityKbps()))
 		st.capIn[id] = c
 		st.capEg[id] = c
 	}

@@ -32,8 +32,8 @@ func NewNaiveState(as *topology.AS, split TrafficSplit) *NaiveState {
 		entries: make(map[reservation.ID]entry),
 		allocEg: make(map[topology.IfID]uint64),
 	}
-	for id, intf := range as.Interfaces {
-		c := float64(split.EERShare(intf.CapacityKbps()))
+	for _, id := range as.SortedIfIDs() {
+		c := float64(split.EERShare(as.Interfaces[id].CapacityKbps()))
 		st.capIn[id] = c
 		st.capEg[id] = c
 	}

@@ -65,6 +65,8 @@ func (m *CBCMAC) SumInto(mac *[MACSize]byte, msg []byte) {
 // given expanded cipher into mac. This is the innermost data-plane operation
 // (Eq. 6: V = MAC_σ(Ts ‖ PktSize)), kept separate so the router can call it
 // with zero bounds checks.
+//
+//colibri:nomalloc
 func MACOneBlock(block cipher.Block, mac *[MACSize]byte, in *[aes.BlockSize]byte) {
 	block.Encrypt(mac[:], in[:])
 }

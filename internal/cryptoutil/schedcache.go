@@ -98,6 +98,8 @@ func mix64(x uint64) uint64 {
 // later fill may overwrite. (Promoted hardware ciphers live on the heap
 // and survive eviction, but callers should not rely on telling the tiers
 // apart.) Use the cipher before looking up the next tag.
+//
+//colibri:nomalloc
 func (c *SchedCache) Schedule(tag uint64, epoch uint32, sigma *Key) cipher.Block {
 	i := (mix64(tag) & c.mask) * 2
 	e0, e1 := &c.ents[i], &c.ents[i+1]

@@ -74,6 +74,8 @@ var rcon = [10]uint32{
 
 // ExpandAES128 expands a 16-byte key into the caller's schedule without
 // allocating.
+//
+//colibri:nomalloc
 func ExpandAES128(ks *AESSchedule, key *Key) {
 	ks[0] = binary.BigEndian.Uint32(key[0:4])
 	ks[1] = binary.BigEndian.Uint32(key[4:8])
@@ -94,6 +96,8 @@ func ExpandAES128(ks *AESSchedule, key *Key) {
 
 // EncryptAES128 encrypts one 16-byte block with the expanded schedule,
 // without allocating. dst and src may overlap.
+//
+//colibri:nomalloc
 func EncryptAES128(ks *AESSchedule, dst, src *[16]byte) {
 	s0 := binary.BigEndian.Uint32(src[0:4]) ^ ks[0]
 	s1 := binary.BigEndian.Uint32(src[4:8]) ^ ks[1]
@@ -131,6 +135,8 @@ func EncryptAES128(ks *AESSchedule, dst, src *[16]byte) {
 
 // SigmaMAC computes MAC_σ(block) = AES-128_σ(block) without allocating:
 // the Eq. (6) step with a per-packet σ key.
+//
+//colibri:nomalloc
 func SigmaMAC(ks *AESSchedule, sigma *Key, mac *[MACSize]byte, block *[16]byte) {
 	ExpandAES128(ks, sigma)
 	EncryptAES128(ks, mac, block)

@@ -82,6 +82,9 @@ func (d *Directory) Len() int {
 func (d *Directory) chains(src, dst, requester topology.IA, limit int) [][]*Offer {
 	d.mu.RLock()
 	var ups, cores, downs []*Offer
+	// Collection order is irrelevant: each bucket is sorted by ID below
+	// before enumeration.
+	//colibri:allow(determinism)
 	for _, o := range d.offers {
 		if !o.usableBy(requester) {
 			continue

@@ -56,8 +56,8 @@ func ablationAdmission(perPoint time.Duration) []AblationRow {
 	timeIt := func(admit func(admission.Request) (uint64, error), release func(reservation.ID)) float64 {
 		runtime.GC()
 		ops := 0
-		start := time.Now()
-		for time.Since(start) < perPoint {
+		start := nowNs()
+		for nowNs()-start < perPoint.Nanoseconds() {
 			for k := 0; k < 64; k++ {
 				if _, err := admit(probe); err != nil {
 					panic(err)
@@ -66,7 +66,7 @@ func ablationAdmission(perPoint time.Duration) []AblationRow {
 			}
 			ops += 64
 		}
-		return time.Since(start).Seconds() / float64(ops) * 1e9
+		return float64(nowNs()-start) / float64(ops)
 	}
 	fast := admission.NewState(as, admission.DefaultSplit)
 	slow := admission.NewNaiveState(as, admission.DefaultSplit)
@@ -130,8 +130,8 @@ func ablationRouterStack(perPoint time.Duration) []AblationRow {
 		}
 		runtime.GC()
 		ops := 0
-		start := time.Now()
-		for time.Since(start) < perPoint {
+		start := nowNs()
+		for nowNs()-start < perPoint.Nanoseconds() {
 			for k := 0; k < 256; k++ {
 				// Replay filter keyed on Ts: rotate timestamps by rebuilding
 				// is too slow, so distinct packets per batch suffice: the
@@ -147,7 +147,7 @@ func ablationRouterStack(perPoint time.Duration) []AblationRow {
 		}
 		rows = append(rows, AblationRow{
 			Study: "border-router stack", Variant: v.name, Unit: "ns/op",
-			Value: time.Since(start).Seconds() / float64(ops) * 1e9,
+			Value: float64(nowNs()-start) / float64(ops),
 		})
 	}
 	return rows

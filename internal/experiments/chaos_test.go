@@ -54,4 +54,8 @@ func TestChaosDeterminism(t *testing.T) {
 	if *a != *b {
 		t.Errorf("two runs with the same seed differ:\n%+v\n%+v", a, b)
 	}
+	if FormatChaos(a) != FormatChaos(b) {
+		t.Errorf("formatted chaos reports are not byte-identical:\n--- a\n%s--- b\n%s",
+			FormatChaos(a), FormatChaos(b))
+	}
 }

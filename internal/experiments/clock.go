@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// This file is the package's single clock seam. Every experiment measures
+// elapsed time through nowNs, so the wall clock is read in exactly one
+// audited place: by default measurements are real (the figures report real
+// processing times), while tests inject a virtual clock with SetClock to
+// make a fixed seed yield byte-identical figure data — the property the
+// chaos/fairness experiments and colibri-vet's determinism check protect.
+
+// clockBase anchors the monotonic reading so nowNs never goes backwards
+// under wall-clock adjustments.
+var clockBase = time.Now() //colibri:allow(determinism) — sole wall-clock anchor
+
+// nowNs returns the current measurement timestamp in nanoseconds. All
+// experiment timing must go through this seam.
+var nowNs = func() int64 {
+	return time.Since(clockBase).Nanoseconds() //colibri:allow(determinism) — sole wall-clock read
+}
+
+// SetClock replaces the measurement clock (e.g. with StepClock for
+// reproducible figure data) and returns a function restoring the previous
+// one. Not safe for use concurrently with running experiments.
+func SetClock(f func() int64) (restore func()) {
+	old := nowNs
+	nowNs = f
+	return func() { nowNs = old }
+}
+
+// StepClock returns a deterministic virtual clock that advances stepNs on
+// every reading, starting at startNs. Under such a clock every timed loop
+// runs a fixed number of iterations and every measured duration is exact,
+// so two runs with equal seeds produce identical bytes. The step is atomic:
+// even Fig. 6's parallel workers stay reproducible, because the number of
+// readings below any deadline — and therefore the total operation count —
+// is independent of how goroutines interleave them.
+func StepClock(startNs, stepNs int64) func() int64 {
+	var t atomic.Int64
+	t.Store(startNs)
+	return func() int64 {
+		return t.Add(stepNs)
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the property colibri-vet's determinism check protects:
+// with the virtual step clock injected through the package's clock seam, a
+// fixed seed makes a full experiment run — including its formatted figure
+// data — byte-identical across runs. Any wall-clock read or unordered map
+// iteration sneaking into the measurement path breaks them.
+
+func TestFig3ByteIdentical(t *testing.T) {
+	run := func() string {
+		restore := SetClock(StepClock(0, 1500))
+		defer restore()
+		return FormatFig3(RunFig3([]int{0, 200}, []float64{0, 0.5}, 30))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two seeded Fig3 runs differ under the step clock:\n--- a\n%s--- b\n%s", a, b)
+	}
+}
+
+func TestFig5ByteIdentical(t *testing.T) {
+	run := func() string {
+		// One clock read per 512-packet burst: a 1 ms step ends each point
+		// after ~50 bursts regardless of host speed.
+		restore := SetClock(StepClock(0, int64(time.Millisecond)))
+		defer restore()
+		return FormatFig5(RunFig5([]int{2}, []int{16}, 50*time.Millisecond))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two seeded Fig5 runs differ under the step clock:\n--- a\n%s--- b\n%s", a, b)
+	}
+}

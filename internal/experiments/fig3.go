@@ -11,7 +11,6 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
-	"time"
 
 	"colibri/internal/admission"
 	"colibri/internal/reservation"
@@ -66,12 +65,12 @@ func RunFig3(existing []int, ratios []float64, samples int) []Fig3Row {
 					Eg:      2,
 					MaxKbps: 50,
 				}
-				start := time.Now()
+				start := nowNs()
 				if _, err := st.AdmitSegR(req); err != nil {
 					panic(err)
 				}
 				st.Release(req.ID)
-				durs[i] = float64(time.Since(start).Nanoseconds()) / 2 / 1000 // µs per admission
+				durs[i] = float64(nowNs()-start) / 2 / 1000 // µs per admission
 			}
 			avg, se := meanStdErr(durs)
 			rows = append(rows, Fig3Row{Existing: n, Ratio: ratio, AvgMicros: avg, StdErr: se})

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"colibri/internal/reservation"
 	"colibri/internal/topology"
@@ -50,14 +49,14 @@ func RunFig4(existing, segrs []int, samples int) []Fig4Row {
 			id := reservation.ID{SrcAS: topology.MustIA(1, 77), Num: 1 << 24}
 			for i := range durs {
 				v := reservation.Version{Ver: 1, BwKbps: 1, ExpT: workload.Epoch + 16}
-				start := time.Now()
+				start := nowNs()
 				if err := store.AdmitEERVersion(&reservation.EER{ID: id}, []reservation.ID{segID}, v, workload.Epoch); err != nil {
 					panic(err)
 				}
 				if err := store.RemoveEERVersion(id, 1); err != nil {
 					panic(err)
 				}
-				durs[i] = float64(time.Since(start).Nanoseconds()) / 2 / 1000
+				durs[i] = float64(nowNs()-start) / 2 / 1000
 			}
 			avg, se := meanStdErr(durs)
 			rows = append(rows, Fig4Row{ExistingEERs: n, SegRs: s, AvgMicros: avg, StdErr: se})

@@ -62,15 +62,15 @@ func RunFig5(hops, reservations []int, perPoint time.Duration) []Fig5Row {
 			}
 			ops := 0
 			now := workload.EpochNs
-			start := time.Now()
-			for time.Since(start) < perPoint {
+			start := nowNs()
+			for nowNs()-start < perPoint.Nanoseconds() {
 				for k := 0; k < 512; k++ {
 					now++
 					mustBuild(w.Build(ids[(ops+k)%len(ids)], nil, out, now))
 				}
 				ops += 512
 			}
-			elapsed := time.Since(start).Seconds()
+			elapsed := float64(nowNs()-start) / 1e9
 			rows = append(rows, Fig5Row{Hops: h, Reservations: r, Mpps: float64(ops) / elapsed / 1e6})
 		}
 	}
@@ -191,14 +191,14 @@ func parallelRate(nw int, d time.Duration, mkWorker func() func()) float64 {
 	runtime.GC()
 	var total atomic.Int64
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := nowNs()
 	for i := 0; i < nw; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			op := mkWorker()
 			ops := 0
-			for time.Since(start) < d {
+			for nowNs()-start < d.Nanoseconds() {
 				for k := 0; k < 256; k++ {
 					op()
 				}
@@ -208,7 +208,7 @@ func parallelRate(nw int, d time.Duration, mkWorker func() func()) float64 {
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start).Seconds()
+	elapsed := float64(nowNs()-start) / 1e9
 	return float64(total.Load()) / elapsed / 1e6
 }
 

@@ -88,7 +88,7 @@ func (s *stamper) make(nowNs int64) *netsim.Packet {
 			copy(pkt.HVFs[i*packet.HVFLen:], mac[:packet.HVFLen])
 		}
 	} else {
-		s.rng.Read(pkt.HVFs)
+		_, _ = s.rng.Read(pkt.HVFs) // rand.Rand.Read never fails
 	}
 	buf := make([]byte, pkt.Length())
 	if _, err := pkt.SerializeTo(buf); err != nil {

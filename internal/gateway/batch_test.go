@@ -29,9 +29,9 @@ func TestBuildBatchMixed(t *testing.T) {
 	mk := func(n int) []byte { return make([]byte, n) }
 	reqs := []BuildReq{
 		{ResID: 7, Payload: []byte("a"), Out: mk(2048)},
-		{ResID: 99, Out: mk(2048)},             // unknown
+		{ResID: 99, Out: mk(2048)},                   // unknown
 		{ResID: 7, Payload: []byte("b"), Out: mk(4)}, // buffer too small
-		{ResID: 8, Out: mk(2048)},              // expired
+		{ResID: 8, Out: mk(2048)},                    // expired
 		{ResID: 7, Payload: []byte("c"), Out: mk(2048)},
 	}
 	outs := make([]BuildRes, len(reqs))

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"colibri/internal/cryptoutil"
 	"colibri/internal/monitor"
@@ -105,10 +104,10 @@ type Gateway struct {
 // computation + serialization), outcome counters, and the resident-state
 // gauge whose cache behaviour Fig. 5 measures.
 type gwTelemetry struct {
-	lookupNs *telemetry.Histogram
-	bucketNs *telemetry.Histogram
-	hvfNs    *telemetry.Histogram
-	pktBytes *telemetry.Histogram
+	lookupNs   *telemetry.Histogram
+	bucketNs   *telemetry.Histogram
+	hvfNs      *telemetry.Histogram
+	pktBytes   *telemetry.Histogram
 	built      *telemetry.Counter
 	rejected   *telemetry.Counter
 	expired    *telemetry.Counter
@@ -124,10 +123,10 @@ type gwTelemetry struct {
 // occupancy gauge is wired as well.
 func (g *Gateway) EnableTelemetry(reg *telemetry.Registry) {
 	t := &gwTelemetry{
-		lookupNs: reg.Histogram("gateway.lookup_ns"),
-		bucketNs: reg.Histogram("gateway.tokenbucket_ns"),
-		hvfNs:    reg.Histogram("gateway.hvf_ns"),
-		pktBytes: reg.Histogram("gateway.pkt_bytes"),
+		lookupNs:   reg.Histogram("gateway.lookup_ns"),
+		bucketNs:   reg.Histogram("gateway.tokenbucket_ns"),
+		hvfNs:      reg.Histogram("gateway.hvf_ns"),
+		pktBytes:   reg.Histogram("gateway.pkt_bytes"),
 		built:      reg.Counter("gateway.built"),
 		rejected:   reg.Counter("gateway.rejected"),
 		expired:    reg.Counter("gateway.expired"),
@@ -421,6 +420,8 @@ func (w *Worker) Build(resID uint32, payload []byte, out []byte, nowNs int64) (i
 // Packets that fail keep their reservation-budget semantics from the
 // single-packet path: unknown/expired/too-small consume nothing; policing
 // consumes only for conforming packets.
+//
+//colibri:nomalloc
 func (w *Worker) BuildBatch(reqs []BuildReq, outs []BuildRes, nowNs int64) int {
 	g := w.g
 	n := len(reqs)
@@ -428,16 +429,16 @@ func (w *Worker) BuildBatch(reqs []BuildReq, outs []BuildRes, nowNs int64) int {
 		return 0
 	}
 	if len(outs) < n {
-		panic("gateway: outs shorter than reqs")
+		panic("gateway: outs shorter than reqs") //colibri:allow(nomalloc) — cold misuse guard
 	}
 	// Phase timing (lookup → token bucket → HVF+serialize) is enabled by
 	// EnableTelemetry; with tel == nil, BuildBatch performs no clock reads.
 	tel := g.tel.Load()
-	var phaseStart time.Time
+	var phaseStart int64
 	if tel != nil {
-		phaseStart = time.Now()
+		phaseStart = monoNow()
 	}
-	w.grow(n)
+	w.grow(n) //colibri:allow(nomalloc) — amortized scratch growth, reused across batches
 	nowSec := uint32(nowNs / 1e9)
 
 	// Phase 1: one RLock for the whole batch's state lookups.
@@ -475,8 +476,8 @@ func (w *Worker) BuildBatch(reqs []BuildReq, outs []BuildRes, nowNs int64) int {
 		w.sizes[i] = uint32(sz)
 	}
 	if tel != nil {
-		now := time.Now()
-		tel.lookupNs.Observe(now.Sub(phaseStart).Nanoseconds())
+		now := monoNow()
+		tel.lookupNs.Observe(now - phaseStart)
 		phaseStart = now
 	}
 
@@ -497,8 +498,8 @@ func (w *Worker) BuildBatch(reqs []BuildReq, outs []BuildRes, nowNs int64) int {
 		toBuild++
 	}
 	if tel != nil {
-		now := time.Now()
-		tel.bucketNs.Observe(now.Sub(phaseStart).Nanoseconds())
+		now := monoNow()
+		tel.bucketNs.Observe(now - phaseStart)
 		phaseStart = now
 	}
 
@@ -523,7 +524,7 @@ func (w *Worker) BuildBatch(reqs []BuildReq, outs []BuildRes, nowNs int64) int {
 			ts++
 			packet.HVFInput(&w.hvfIn, pkt.Ts, w.sizes[i])
 			if cap(pkt.HVFs) < len(e.Path)*packet.HVFLen {
-				pkt.HVFs = make([]byte, len(e.Path)*packet.HVFLen)
+				pkt.HVFs = make([]byte, len(e.Path)*packet.HVFLen) //colibri:allow(nomalloc) — grows to the longest path seen, then reused
 			} else {
 				pkt.HVFs = pkt.HVFs[:len(e.Path)*packet.HVFLen]
 			}
@@ -547,7 +548,7 @@ func (w *Worker) BuildBatch(reqs []BuildReq, outs []BuildRes, nowNs int64) int {
 		}
 	}
 	if tel != nil {
-		tel.hvfNs.Observe(time.Since(phaseStart).Nanoseconds())
+		tel.hvfNs.Observe(monoNow() - phaseStart)
 		if built > 0 {
 			tel.built.Add(uint64(built))
 		}

@@ -136,6 +136,8 @@ func (m *FlowMonitor) Allow(id reservation.ID, rateKbps uint64, sizeBytes uint32
 // (TokenBucket.Allow skips refill when the clock has not advanced), so the
 // per-packet cost inside the lock is one map lookup and one comparison —
 // the amortization the batched gateway pipeline relies on.
+//
+//colibri:nomalloc
 func (m *FlowMonitor) AllowBatch(ids []reservation.ID, rates []uint64, sizes []uint32, nowNs int64, allowed []bool) {
 	m.mu.Lock()
 	for i := range ids {
@@ -145,7 +147,7 @@ func (m *FlowMonitor) AllowBatch(ids []reservation.ID, rates []uint64, sizes []u
 		}
 		tb, ok := m.flows[ids[i]]
 		if !ok {
-			tb = NewTokenBucket(rates[i], BurstBytesFor(rates[i]), nowNs)
+			tb = NewTokenBucket(rates[i], BurstBytesFor(rates[i]), nowNs) //colibri:allow(nomalloc) — first packet of a flow only; Ensure pre-creates at install
 			m.flows[ids[i]] = tb
 			if m.gauge != nil {
 				m.gauge.Set(int64(len(m.flows)))

@@ -30,7 +30,7 @@ func chaosRun(seed uint64) (trace []string, counters [4]uint64) {
 	det := NewDetachable(sink)
 
 	portB := NewPort(sim, "B", 40_000_000, 2_000, qos.StrictPriority, det, 0)
-	planB := NewFaultPlan(seed + 1).AddDown(2_000_000, 4_000_000)
+	planB := NewFaultPlan(seed+1).AddDown(2_000_000, 4_000_000)
 	portB.SetFaults(planB)
 
 	relay := NodeFunc(func(pkt *Packet, _ int) { portB.Send(pkt) })

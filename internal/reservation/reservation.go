@@ -31,6 +31,15 @@ func (id ID) String() string { return fmt.Sprintf("%s#%d", id.SrcAS, id.Num) }
 // IsZero reports whether the ID is unset.
 func (id ID) IsZero() bool { return id.SrcAS.IsZero() && id.Num == 0 }
 
+// Less orders IDs by (SrcAS, Num), the canonical order for deterministic
+// iteration over reservation maps.
+func (id ID) Less(o ID) bool {
+	if id.SrcAS != o.SrcAS {
+		return id.SrcAS < o.SrcAS
+	}
+	return id.Num < o.Num
+}
+
 // Lifetimes from §3.3: SegRs live ~5 minutes, EERs 16 seconds.
 const (
 	SegRLifetimeSeconds = 300

@@ -3,6 +3,7 @@ package reservation
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"colibri/internal/topology"
@@ -229,7 +230,8 @@ func (s *Store) GetEER(id ID) (*EER, error) {
 func (s *Store) Cleanup(now uint32) (removedSegRs []ID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for id, e := range s.eers {
+	for _, id := range sortedIDs(s.eers) {
+		e := s.eers[id]
 		alive := e.DropExpired(now)
 		newMax := e.MaxBwKbps(now)
 		old := s.contrib[id]
@@ -251,7 +253,8 @@ func (s *Store) Cleanup(now uint32) (removedSegRs []ID) {
 			delete(s.contrib, id)
 		}
 	}
-	for id, r := range s.segs {
+	for _, id := range sortedIDs(s.segs) {
+		r := s.segs[id]
 		activeDead := r.Active.Expired(now)
 		pendingDead := r.Pending == nil || r.Pending.Expired(now)
 		if activeDead && !pendingDead {
@@ -275,12 +278,24 @@ func (s *Store) InitiatedSegRs() []*SegR {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []*SegR
-	for _, r := range s.segs {
-		if r.Seg != nil {
+	for _, id := range sortedIDs(s.segs) {
+		if r := s.segs[id]; r.Seg != nil {
 			out = append(out, r)
 		}
 	}
 	return out
+}
+
+// sortedIDs returns the map's keys in canonical ID order, so maintenance
+// paths (cleanup, renewal enumeration) touch reservations — and emit any
+// downstream traces — in the same order every run.
+func sortedIDs[V any](m map[ID]V) []ID {
+	ids := make([]ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
 }
 
 // Counts returns the number of stored SegRs and EERs.

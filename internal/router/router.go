@@ -193,8 +193,10 @@ func New(cfg Config) *Router {
 		detMon:      monitor.NewFlowMonitor(),
 	}
 	if reg := cfg.Telemetry; reg != nil {
+		// One series per DropReason: the suffix set is the closed dropSlug
+		// enum, not unbounded input.
 		for reason := range r.drops {
-			r.drops[reason] = reg.Counter("router.drop." + dropSlug(DropReason(reason)))
+			r.drops[reason] = reg.Counter("router.drop." + dropSlug(DropReason(reason))) //colibri:allow(telemetry)
 		}
 		r.hot = &routerHot{
 			processed: reg.Counter("router.processed"),
@@ -396,10 +398,12 @@ type BatchVerdict struct {
 // counter is bumped once with Add(n) and drop counters are flushed once
 // per reason at the end, so the per-packet path touches no shared atomics
 // on the happy path.
+//
+//colibri:nomalloc
 func (w *Worker) ProcessBatch(pkts [][]byte, verdicts []BatchVerdict, nowNs int64) int {
 	r := w.r
 	if len(verdicts) < len(pkts) {
-		panic("router: verdicts shorter than pkts")
+		panic("router: verdicts shorter than pkts") //colibri:allow(nomalloc) — cold misuse guard
 	}
 	if r.hot != nil {
 		r.hot.processed.Add(uint64(len(pkts)))
@@ -419,7 +423,11 @@ func (w *Worker) ProcessBatch(pkts [][]byte, verdicts []BatchVerdict, nowNs int6
 }
 
 // processOne runs the full protection stack for one packet, accounting
-// drops into acc.
+// drops into acc. The happy (forward/deliver) path is allocation-free;
+// drop paths construct a diagnostic error, which is the only permitted
+// allocation (each is individually annotated below).
+//
+//colibri:nomalloc
 func (w *Worker) processOne(buf []byte, nowNs int64, acc *dropAcc) (Verdict, error) {
 	r := w.r
 	pkt := &w.pkt
@@ -434,17 +442,17 @@ func (w *Worker) processOne(buf []byte, nowNs int64, acc *dropAcc) (Verdict, err
 	// expired yet" and "packet freshness").
 	if uint32(nowNs/1e9) >= pkt.Res.ExpT {
 		w.countDrop(acc, DropExpired, nowNs, true)
-		return Verdict{Action: ADrop}, fmt.Errorf("%w: at %d", ErrExpired, pkt.Res.ExpT)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: at %d", ErrExpired, pkt.Res.ExpT) //colibri:allow(nomalloc) — drop-path diagnostic error
 	}
 	delta := nowNs - int64(pkt.Ts)
 	if delta < -r.freshnessNs || delta > r.freshnessNs {
 		w.countDrop(acc, DropStale, nowNs, true)
-		return Verdict{Action: ADrop}, fmt.Errorf("%w: delta %d ns", ErrStale, delta)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: delta %d ns", ErrStale, delta) //colibri:allow(nomalloc) — drop-path diagnostic error
 	}
 	// Blocklist (§4.8: "keeping a list of blocked source ASes").
 	if r.blocklist.Blocked(pkt.Res.SrcAS, uint32(nowNs/1e9)) {
 		w.countDrop(acc, DropBlocked, nowNs, true)
-		return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrBlocked, pkt.Res.SrcAS)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrBlocked, pkt.Res.SrcAS) //colibri:allow(nomalloc) — drop-path diagnostic error
 	}
 
 	// Cryptographic validation.
@@ -486,7 +494,7 @@ func (w *Worker) processOne(buf []byte, nowNs int64, acc *dropAcc) (Verdict, err
 		// authenticated at the CServ (§5.3); the router only forwards them.
 	default:
 		w.countDrop(acc, DropBestEffort, nowNs, true)
-		return Verdict{Action: ADrop}, fmt.Errorf("%w: type %v", ErrBestEffort, pkt.Type)
+		return Verdict{Action: ADrop}, fmt.Errorf("%w: type %v", ErrBestEffort, pkt.Type) //colibri:allow(nomalloc) — drop-path diagnostic error
 	}
 
 	id := reservation.ID{SrcAS: pkt.Res.SrcAS, Num: pkt.Res.ResID}
@@ -528,7 +536,7 @@ func (w *Worker) processOne(buf []byte, nowNs int64, acc *dropAcc) (Verdict, err
 				}
 			}
 			w.countDrop(acc, DropOveruse, nowNs, true)
-			return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrOveruse, id)
+			return Verdict{Action: ADrop}, fmt.Errorf("%w: %s", ErrOveruse, id) //colibri:allow(nomalloc) — drop-path diagnostic error
 		}
 	}
 

@@ -47,18 +47,24 @@ func writeTextOne(w io.Writer, s Snapshot) error {
 		if s.Counters[name] == 0 {
 			continue
 		}
-		fmt.Fprintf(tw, "counter\t%s\t%d\n", name, s.Counters[name])
+		if _, err := fmt.Fprintf(tw, "counter\t%s\t%d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		fmt.Fprintf(tw, "gauge\t%s\t%d\n", name, s.Gauges[name])
+		if _, err := fmt.Fprintf(tw, "gauge\t%s\t%d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		if h.Count == 0 {
 			continue
 		}
-		fmt.Fprintf(tw, "histogram\t%s\tcount=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d\n",
-			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
+		if _, err := fmt.Fprintf(tw, "histogram\t%s\tcount=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d\n",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max); err != nil {
+			return err
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -123,7 +123,7 @@ func populate(r, hops int, rng *rand.Rand, gwOpts gateway.Options, sigmaCacheEnt
 	macs := make([]*cryptoutil.CBCMAC, hops)
 	routers := make([]*router.Router, hops)
 	for i := range secrets {
-		rng.Read(secrets[i][:])
+		_, _ = rng.Read(secrets[i][:]) // rand.Rand.Read never fails
 		macs[i] = cryptoutil.MustCBCMAC(secrets[i])
 		routers[i] = router.New(router.Config{
 			IA:                topology.MustIA(1, topology.ASID(i+1)),
