@@ -17,6 +17,7 @@ import (
 	"colibri/internal/admission"
 	"colibri/internal/experiments"
 	"colibri/internal/gateway"
+	"colibri/internal/netsim"
 	"colibri/internal/packet"
 	"colibri/internal/reservation"
 	"colibri/internal/router"
@@ -453,6 +454,48 @@ func BenchmarkVetSelf(b *testing.B) {
 		out, err := cmd.CombinedOutput()
 		if err != nil {
 			b.Fatalf("colibri-vet failed: %v\n%s", err, out)
+		}
+	}
+}
+
+// BenchmarkNetsimScale measures discrete-event throughput of the two netsim
+// engines on generated 100- and 1000-AS topologies (one shard per AS,
+// shortest-path forwarding, two flows per AS). "seq" is the sequential
+// reference engine; "par/N" the safe-window parallel engine with N workers.
+// Both simulate the identical event sequence — the equivalence suite proves
+// the traces bit-identical — so events/s and Mpps compare engines, not
+// workloads. One iteration is one full simulated run.
+func BenchmarkNetsimScale(b *testing.B) {
+	for _, ases := range []int{100, 1000} {
+		if ases == 1000 && testing.Short() {
+			continue
+		}
+		for _, workers := range []int{0, 1, 4, 8} {
+			mode := "seq"
+			if workers > 0 {
+				mode = fmt.Sprintf("par/%d", workers)
+			}
+			b.Run(fmt.Sprintf("as=%d/%s", ases, mode), func(b *testing.B) {
+				cfg := experiments.ScaleConfig{ASes: ases, Seed: 1, DurationNs: 20e6}
+				var events, pkts uint64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := netsim.NewSim()
+					delivered := experiments.BuildScale(cfg, s)
+					if workers == 0 {
+						s.Run(0)
+					} else {
+						s.RunParallel(0, workers)
+					}
+					events += s.Executed()
+					p, _, _ := delivered()
+					pkts += p
+				}
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(events)/sec/1e6, "Mevents/s")
+				}
+				reportMpps(b, int64(pkts))
+			})
 		}
 	}
 }

@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|all]
+//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|all]
 //
 // With -quick, reduced parameter grids keep the total runtime under a
 // minute; the default grids match the paper's sweeps (fig5/fig6 with
 // r = 2^20 build million-entry gateways and take several minutes).
+//
+// The scale experiment sweeps the netsim engines over generated 100- and
+// 1000-AS topologies: a sequential baseline, then the safe-window parallel
+// engine at each worker count from -parallel (default 1,2,4,8), after
+// proving the run bit-identical across engines.
 //
 // With -telemetry, the experiments' internal instruments (gateway phase
 // latency histograms, router drop counters, simulated queue depths) are
@@ -18,17 +23,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"colibri/internal/experiments"
 	"colibri/internal/telemetry"
 )
 
+// parseWorkers parses the -parallel worker-count list.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("worker count %d < 1", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter grids")
 	dur := flag.Duration("duration", 300*time.Millisecond, "measurement time per data-plane point")
 	telFmt := flag.String("telemetry", "", "dump internal instruments at exit: text or json")
+	parallel := flag.String("parallel", "1,2,4,8", "comma-separated worker counts for the scale experiment")
 	flag.Parse()
+
+	workers, err := parseWorkers(*parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -parallel %q: %v\n", *parallel, err)
+		os.Exit(2)
+	}
 
 	var reg *telemetry.Registry
 	switch *telFmt {
@@ -109,9 +139,28 @@ func main() {
 		}
 		fmt.Print(experiments.FormatChaos(r))
 	})
+	run("scale", func() {
+		sizes := []int{100, 1000}
+		if *quick {
+			sizes = []int{100}
+		}
+		for _, ases := range sizes {
+			cfg := experiments.ScaleConfig{ASes: ases, Workers: workers, Verify: true}
+			if *quick {
+				cfg.DurationNs = 20e6
+			}
+			r, err := experiments.RunScale(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(experiments.FormatScale(r))
+			fmt.Println()
+		}
+	})
 	if !ran {
 		fmt.Fprintf(os.Stderr,
-			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|all)\n", what)
+			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|all)\n", what)
 		os.Exit(2)
 	}
 	if reg != nil {

@@ -6,9 +6,17 @@
 //
 // Flagged:
 //   - calls to time.Now (and thus rand.NewSource(time.Now().UnixNano()));
+//   - wall-clock waits — time.Sleep/After/Tick/NewTimer/NewTicker/AfterFunc:
+//     real durations leak scheduling into results, which matters doubly now
+//     that netsim's parallel engine runs event handlers on a worker pool
+//     (a handler that sleeps skews whole safe windows);
 //   - calls to package-level math/rand functions (Intn, Float64, Shuffle,
 //     Perm, ...) which use the process-global source — seeded *rand.Rand
 //     methods are fine, as are rand.New/NewSource/NewZipf constructors;
+//   - `select` with two or more communicating cases: when several channels
+//     are ready the runtime picks uniformly at random, so the winner is
+//     schedule-dependent — goroutine-spawned handlers (netsim parallel
+//     workers) must drain a single channel instead;
 //   - `range` over a map, unless the loop body provably only accumulates
 //     order-insensitively (commutative compound assignments, counters,
 //     min/max folds, writes keyed by the range key, delete), the file
@@ -28,6 +36,17 @@ const checkDeterminism = "determinism"
 // of drawing from the global source.
 var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
+// timeReads are the time-package functions that read the wall clock.
+var timeReads = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// timeWaits are the time-package functions that wait on (or arm timers
+// against) real durations; in deterministic code all waiting must happen in
+// virtual time (netsim's event loop), never against the OS clock.
+var timeWaits = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
 type determinismCheck struct {
 	// pkgs holds the base names of deterministic packages.
 	pkgs map[string]bool
@@ -46,6 +65,9 @@ func (c *determinismCheck) Run(p *Pkg, r *Reporter) {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				c.checkCall(n, p, r)
+				return true
+			case *ast.SelectStmt:
+				c.checkSelect(n, p, r)
 				return true
 			case *ast.BlockStmt:
 				list = n.List
@@ -88,15 +110,38 @@ func (c *determinismCheck) checkCall(call *ast.CallExpr, p *Pkg, r *Reporter) {
 	pkgPath, fn := pkgFuncCall(call, p.Info)
 	switch pkgPath {
 	case "time":
-		if fn == "Now" || fn == "Since" || fn == "Until" {
+		if timeReads[fn] {
 			r.Report(call.Pos(), checkDeterminism,
 				"time.%s in deterministic package %s: thread an injectable clock (core.Clock / netsim virtual time)", fn, p.Name)
+		}
+		if timeWaits[fn] {
+			r.Report(call.Pos(), checkDeterminism,
+				"time.%s in deterministic package %s: wall-clock waits make runs schedule-dependent — wait in virtual time (Shard.After / Sim.After)", fn, p.Name)
 		}
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[fn] {
 			r.Report(call.Pos(), checkDeterminism,
 				"global math/rand.%s in deterministic package %s: use an explicitly seeded *rand.Rand", fn, p.Name)
 		}
+	}
+}
+
+// checkSelect flags select statements with two or more communicating cases:
+// when several channels are ready, the Go runtime chooses uniformly at
+// random, so the winning case — and everything downstream of it — depends on
+// scheduling. A single comm clause (with or without default) is a plain
+// conditional receive/send and stays deterministic; that is the shape
+// netsim's parallel workers use (`for chunk := range work`).
+func (c *determinismCheck) checkSelect(sel *ast.SelectStmt, p *Pkg, r *Reporter) {
+	comm := 0
+	for _, s := range sel.Body.List {
+		if cc, ok := s.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		r.Report(sel.Pos(), checkDeterminism,
+			"select over %d channels in deterministic package %s: the ready-case choice is randomized by the runtime — drain one channel per goroutine (worker-pool pattern) instead", comm, p.Name)
 	}
 }
 

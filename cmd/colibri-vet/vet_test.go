@@ -38,6 +38,7 @@ func TestFixtures(t *testing.T) {
 		wantExit int
 	}{
 		{"determinism_netsim", "determinism", "./netsim/...", 1},
+		{"determinism_parallel", "determinism", "./netsimpar/...", 1},
 		{"determinism_cserv", "determinism", "./cserv/...", 1},
 		{"locks", "locks", "./locks/...", 1},
 		{"telemetry", "telemetry", "./tel/...", 1},

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"colibri/internal/netsim"
+	"colibri/internal/qos"
+	"colibri/internal/topology"
+	"colibri/internal/workload"
+)
+
+// ScaleConfig parameterizes the thousand-AS scale experiment: a generated
+// hierarchical topology, one netsim shard per AS, seeded end-to-end flows
+// routed hop-by-hop over shortest paths, and an engine sweep (sequential
+// baseline plus a list of parallel worker counts). The zero value is filled
+// in by defaults (100 ASes, 2 flows per AS, 50 virtual ms).
+type ScaleConfig struct {
+	// ASes is the approximate topology size; the generator rounds to whole
+	// ISDs of 50 ASes (2 cores, 8 providers, 40 leaves).
+	ASes int
+	// Flows is the number of end-to-end flows (default 2 per AS).
+	Flows int
+	// RateKbps and PktBytes shape each flow's offered load.
+	RateKbps uint64
+	PktBytes int
+	// DurationNs is the virtual-time length of the run.
+	DurationNs int64
+	// Seed drives topology choice, flow endpoints, classes, and faults.
+	Seed uint64
+	// Loss and JitterNs, when non-zero, attach a fault plan to every
+	// inter-AS link.
+	Loss     float64
+	JitterNs int64
+	// Workers lists the parallel worker counts to sweep after the
+	// sequential baseline (default 1, 2, 4, 8).
+	Workers []int
+	// Verify first proves the configured scenario bit-identical under both
+	// engines with the netsim.RunBoth differential harness.
+	Verify bool
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.ASes <= 0 {
+		c.ASes = 100
+	}
+	if c.Flows <= 0 {
+		c.Flows = 2 * c.ASes
+	}
+	if c.RateKbps == 0 {
+		c.RateKbps = 8_000
+	}
+	if c.PktBytes == 0 {
+		c.PktBytes = 500
+	}
+	if c.DurationNs == 0 {
+		c.DurationNs = 50e6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	return c
+}
+
+// scaleSpec sizes the topology generator to roughly n ASes.
+func scaleSpec(n int, seed uint64) topology.GenSpec {
+	isds := (n + 49) / 50
+	if isds < 1 {
+		isds = 1
+	}
+	return topology.GenSpec{
+		ISDs:            isds,
+		CoresPerISD:     2,
+		ProvidersPerISD: 8,
+		LeavesPerISD:    40,
+		Seed:            int64(seed),
+	}
+}
+
+// BuildScale constructs the scale scenario into s — one shard per AS, one
+// port per directed inter-AS adjacency (capacity and latency from the
+// topology link), a shortest-path forwarding node per AS, and a seeded
+// source per flow — and returns a function reporting the totals delivered
+// to flow destinations (valid after the run).
+func BuildScale(cfg ScaleConfig, s *netsim.Sim) (delivered func() (pkts, bytes, drops uint64)) {
+	cfg = cfg.withDefaults()
+	topo := topology.Generate(scaleSpec(cfg.ASes, cfg.Seed))
+	rt := workload.BuildRoutes(topo)
+	flows := workload.ScaleFlows(topo, cfg.Flows, cfg.Seed+1)
+	n := len(rt.IAs)
+
+	shards := make([]*netsim.Shard, n)
+	shards[0] = s.Root()
+	for i := 1; i < n; i++ {
+		shards[i] = s.NewShard()
+	}
+
+	// One port per directed adjacency; towards[i] pairs (neighbor index,
+	// port) — linear scan beats a map for the handful of neighbors an AS
+	// has, and stays allocation-free per packet.
+	type hop struct {
+		nbr  int32
+		port *netsim.Port
+	}
+	towards := make([][]hop, n)
+	sinkPkts := make([]uint64, n)
+	sinkBytes := make([]uint64, n)
+	lost := make([]uint64, n) // packets with no route (should stay 0)
+	routers := make([]netsim.Node, n)
+	var ports []*netsim.Port
+
+	for i := 0; i < n; i++ {
+		i := int32(i)
+		routers[i] = netsim.NodeFunc(func(pkt *netsim.Packet, _ int) {
+			dst := pkt.Meta.(int32)
+			if dst == i {
+				sinkPkts[i]++
+				sinkBytes[i] += uint64(pkt.WireSize)
+				return
+			}
+			next := rt.Next[dst][i]
+			if next < 0 {
+				lost[i]++
+				return
+			}
+			for _, h := range towards[i] {
+				if h.nbr == next {
+					h.port.Send(pkt)
+					return
+				}
+			}
+			lost[i]++
+		})
+	}
+
+	for i, ia := range rt.IAs {
+		as := topo.AS(ia)
+		seen := make(map[int32]bool)
+		for _, ifid := range as.SortedIfIDs() {
+			intf := as.Interface(ifid)
+			j := rt.Index[intf.Neighbor]
+			if seen[j] {
+				continue // parallel links: first (lowest-ifid) one carries
+			}
+			seen[j] = true
+			p := netsim.NewShardPort(shards[i], fmt.Sprintf("as%d.if%d", i, ifid),
+				intf.Link.CapacityKbps, intf.Link.LatencyNs, qos.StrictPriority,
+				routers[j], shards[j], 0)
+			if cfg.Loss > 0 || cfg.JitterNs > 0 {
+				p.SetFaults(netsim.NewFaultPlan(cfg.Seed ^ uint64(i)<<20 ^ uint64(j)).
+					SetLoss(cfg.Loss).SetJitter(cfg.JitterNs))
+			}
+			towards[i] = append(towards[i], hop{nbr: j, port: p})
+			ports = append(ports, p)
+		}
+	}
+	_ = ports
+
+	for fi, f := range flows {
+		srcIdx := rt.Index[f.Src]
+		dstIdx := rt.Index[f.Dst]
+		rng := netsim.NewRand(cfg.Seed*2654435761 + uint64(fi))
+		src := &netsim.Source{
+			Sim:      s,
+			Dst:      routers[srcIdx],
+			Shard:    shards[srcIdx],
+			RateKbps: cfg.RateKbps,
+			PktBytes: cfg.PktBytes,
+			StopNs:   cfg.DurationNs,
+			Make: func() *netsim.Packet {
+				return &netsim.Packet{
+					WireSize: cfg.PktBytes,
+					Class:    qos.Class(rng.Uint64() % uint64(qos.NumClasses)),
+					Meta:     dstIdx,
+				}
+			},
+		}
+		// Stagger starts inside the first millisecond, seeded.
+		src.Start(1 + int64(rng.Uint64()%1_000_000))
+	}
+
+	return func() (pkts, bytes, drops uint64) {
+		for i := 0; i < n; i++ {
+			pkts += sinkPkts[i]
+			bytes += sinkBytes[i]
+			drops += lost[i]
+		}
+		for _, p := range ports {
+			for _, d := range p.Drops() {
+				drops += d
+			}
+		}
+		return
+	}
+}
+
+// ScaleScenario adapts BuildScale to the netsim differential-harness
+// Scenario shape; the digest covers delivered totals (the trace comparison
+// inside RunBoth is the strong per-event check).
+func ScaleScenario(cfg ScaleConfig) netsim.Scenario {
+	return func(s *netsim.Sim) func() string {
+		delivered := BuildScale(cfg, s)
+		return func() string {
+			pkts, bytes, drops := delivered()
+			return fmt.Sprintf("pkts=%d bytes=%d drops=%d", pkts, bytes, drops)
+		}
+	}
+}
+
+// ScaleRow is one engine datapoint of the scale sweep.
+type ScaleRow struct {
+	Mode    string // "seq" or "par/N"
+	Workers int
+	Events  uint64
+	Pkts    uint64
+	WallNs  int64
+	// EventsPerSec and Mpps are wall-clock throughputs; Speedup is
+	// relative to the sequential baseline.
+	EventsPerSec float64
+	Mpps         float64
+	Speedup      float64
+}
+
+// ScaleResult is the full scale-experiment output.
+type ScaleResult struct {
+	ASes, Shards, Flows int
+	Rows                []ScaleRow
+	Verified            bool
+}
+
+// RunScale measures sequential vs parallel engine throughput on the
+// configured topology: one sequential baseline, then one run per worker
+// count, all simulating the identical scenario (and, with cfg.Verify,
+// first proven bit-identical via RunBoth). Wall time is read through the
+// package clock seam, so tests can make the figures deterministic.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ScaleResult{ASes: cfg.ASes, Flows: cfg.Flows}
+
+	if cfg.Verify {
+		if _, err := netsim.RunBoth(0, cfg.Workers[len(cfg.Workers)-1], ScaleScenario(cfg)); err != nil {
+			return nil, fmt.Errorf("seq/par equivalence: %w", err)
+		}
+		res.Verified = true
+	}
+
+	measure := func(mode string, workers int) ScaleRow {
+		s := netsim.NewSim()
+		if telemetryReg != nil {
+			s.SetTelemetry(telemetryReg)
+		}
+		delivered := BuildScale(cfg, s)
+		res.Shards = s.NumShards()
+		start := nowNs()
+		if workers == 0 {
+			s.Run(0)
+		} else {
+			s.RunParallel(0, workers)
+		}
+		wall := nowNs() - start
+		if wall < 1 {
+			wall = 1
+		}
+		pkts, _, _ := delivered()
+		return ScaleRow{
+			Mode:         mode,
+			Workers:      workers,
+			Events:       s.Executed(),
+			Pkts:         pkts,
+			WallNs:       wall,
+			EventsPerSec: float64(s.Executed()) / float64(wall) * 1e9,
+			Mpps:         float64(pkts) * 1e3 / float64(wall),
+		}
+	}
+
+	base := measure("seq", 0)
+	base.Speedup = 1
+	res.Rows = append(res.Rows, base)
+	for _, w := range cfg.Workers {
+		row := measure(fmt.Sprintf("par/%d", w), w)
+		row.Speedup = float64(base.WallNs) / float64(row.WallNs)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// FormatScale renders the sweep as a markdown table.
+func FormatScale(r *ScaleResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale: %d ASes (%d shards), %d flows%s\n\n",
+		r.ASes, r.Shards, r.Flows,
+		map[bool]string{true: ", seq/par verified bit-identical", false: ""}[r.Verified])
+	fmt.Fprint(&b, "| engine | events | pkts delivered | wall ms | events/s | Mpps | speedup |\n")
+	fmt.Fprint(&b, "|--------|--------|----------------|---------|----------|------|--------|\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| %s | %d | %d | %.1f | %.2fM | %.3f | %.2fx |\n",
+			row.Mode, row.Events, row.Pkts, float64(row.WallNs)/1e6,
+			row.EventsPerSec/1e6, row.Mpps, row.Speedup)
+	}
+	return b.String()
+}

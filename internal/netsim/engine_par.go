@@ -1,0 +1,249 @@
+// engine_par.go — the parallel execution engine: conservative safe-window
+// synchronization (classic PDES lookahead).
+//
+// Each window executes every event with timestamp in [T, T+lookahead), where
+// T is the earliest pending event and lookahead is the minimum cross-shard
+// link latency. Within the window, shards are independent: a cross-shard
+// child is always scheduled ≥ lookahead in the future (enforced by
+// Shard.Cross), so it lands at or after the window end and cannot be missed
+// or raced; same-shard children landing inside the window are executed by
+// the owning worker in key order. Workers drain disjoint shard heaps, buffer
+// cross-shard events in per-shard outboxes, and a single-threaded merge
+// moves outboxes into target heaps after the barrier. Event keys — assigned
+// from shard-owned channel counters — are byte-identical to the sequential
+// engine's, so traces and final state are too (DESIGN.md §6).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+
+	"colibri/internal/telemetry"
+)
+
+// parTelemetry holds the parallel engine's instruments: safe-window and
+// occupancy visibility for scale runs. Recording happens from workers
+// (telemetry counters are concurrency-safe) and from the coordinator between
+// windows; none of it feeds back into the simulation, so traces stay
+// engine- and schedule-independent.
+type parTelemetry struct {
+	reg          *telemetry.Registry
+	windows      *telemetry.Counter
+	safeWindowNs *telemetry.Gauge
+	activeShards *telemetry.Gauge
+	windowEvents *telemetry.Histogram
+	workerEvents []*telemetry.Counter
+}
+
+// SetTelemetry attaches instruments for the parallel engine:
+// netsim.par.{windows,safe_window_ns,active_shards,window_events} plus one
+// netsim.par.worker<N>.events counter per worker. Nil disables (default).
+func (s *Sim) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.tel = nil
+		return
+	}
+	s.tel = &parTelemetry{
+		reg:          reg,
+		windows:      reg.Counter("netsim.par.windows"),
+		safeWindowNs: reg.Gauge("netsim.par.safe_window_ns"),
+		activeShards: reg.Gauge("netsim.par.active_shards"),
+		windowEvents: reg.Histogram("netsim.par.window_events"),
+	}
+}
+
+// ensureWorkers sizes the per-worker occupancy counters. Worker indices are
+// bounded by the RunParallel workers argument, so the dynamic name part
+// cannot run away (same discipline as Probe.Watch's per-port names).
+func (t *parTelemetry) ensureWorkers(n int) {
+	for w := len(t.workerEvents); w < n; w++ {
+		name := fmt.Sprintf("netsim.par.worker%d.events", w)
+		t.workerEvents = append(t.workerEvents, t.reg.Counter(name)) //colibri:allow(telemetry)
+	}
+}
+
+// RunParallel executes events on a pool of `workers` goroutines using
+// safe-window synchronization, until the queue empties or virtual time
+// exceeds until (0 = run to completion). It returns the final time.
+//
+// The result — final state, event trace, return value — is bit-identical to
+// Run for any topology, seed, and fault plan, provided shard discipline
+// holds: every piece of state is owned by one shard and only touched by that
+// shard's events (cross-shard ports are the supported interaction channel).
+// Single-shard simulations fall back to the sequential engine.
+func (s *Sim) RunParallel(until int64, workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	if len(s.shards) == 1 {
+		return s.Run(until)
+	}
+	s.running = true
+	s.par = true
+	defer func() {
+		// Return leftover events (beyond `until`) to the global heap so a
+		// later Run/RunParallel resumes seamlessly.
+		for _, sh := range s.shards {
+			s.pq = append(s.pq, sh.pq...)
+			sh.pq = sh.pq[:0]
+		}
+		heap.Init(&s.pq)
+		s.par = false
+		s.running = false
+		s.cur = s.shards[0]
+	}()
+
+	// Redistribute the global heap into per-shard heaps.
+	for _, ev := range s.pq {
+		sh := s.shards[ev.dst]
+		sh.pq = append(sh.pq, ev)
+	}
+	s.pq = s.pq[:0]
+	for _, sh := range s.shards {
+		heap.Init(&sh.pq)
+	}
+
+	if s.tel != nil {
+		s.tel.ensureWorkers(workers)
+	}
+
+	// Persistent worker pool: workers pull chunks of shards from one work
+	// channel (a single receive — no select — so no scheduler-order
+	// dependence can leak into the simulation) and signal completion via
+	// the window barrier. Which worker runs which shard is scheduling-
+	// dependent, but only the occupancy counters can see that.
+	work := make(chan []*Shard)
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicVal any
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			for chunk := range work {
+				func() {
+					// Re-raise event-callback panics on the coordinator
+					// (below, after the barrier) so callers see the same
+					// panic the sequential engine would raise inline.
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicVal == nil {
+								panicVal = r
+							}
+							panicMu.Unlock()
+						}
+						wg.Done()
+					}()
+					var n uint64
+					for _, sh := range chunk {
+						n += sh.runWindow()
+					}
+					if s.tel != nil {
+						s.tel.workerEvents[id].Add(n)
+					}
+				}()
+			}
+		}(w)
+	}
+	defer close(work)
+
+	active := make([]*Shard, 0, len(s.shards))
+	for {
+		// Earliest pending event across all shard heaps.
+		var T int64
+		found := false
+		for _, sh := range s.shards {
+			if len(sh.pq) > 0 && (!found || sh.pq[0].at < T) {
+				T = sh.pq[0].at
+				found = true
+			}
+		}
+		if !found {
+			return s.now
+		}
+		if until > 0 && T > until {
+			s.now = until
+			return s.now
+		}
+		end := T + s.lookahead
+		if s.lookahead == math.MaxInt64 || end < T { // no cross edges / overflow
+			end = math.MaxInt64
+		}
+		if until > 0 && end > until+1 {
+			end = until + 1 // events at exactly `until` still run, as in Run
+		}
+		s.now = T // shards read this through Shard.Now; stable during the window
+
+		active = active[:0]
+		for _, sh := range s.shards {
+			if len(sh.pq) > 0 && sh.pq[0].at < end {
+				sh.winEnd = end
+				active = append(active, sh)
+			}
+		}
+
+		s.inWindow = true
+		chunk := len(active)/(workers*4) + 1
+		for i := 0; i < len(active); i += chunk {
+			j := i + chunk
+			if j > len(active) {
+				j = len(active)
+			}
+			wg.Add(1)
+			work <- active[i:j]
+		}
+		wg.Wait()
+		s.inWindow = false
+		if panicVal != nil {
+			panic(panicVal)
+		}
+
+		// Deterministic merge: move outboxed cross-shard events into their
+		// target heaps. Keys were already assigned by the (deterministic)
+		// source shards, so insertion order is irrelevant; the lookahead
+		// guarantee makes every entry land at or beyond the window end.
+		maxNow := s.now
+		var windowEvents uint64
+		for _, sh := range active {
+			if sh.now > maxNow {
+				maxNow = sh.now
+			}
+			windowEvents += sh.windowExecuted
+			for _, ev := range sh.outbox {
+				if ev.at < end {
+					panic(fmt.Sprintf("netsim: merge found cross-shard event at t=%d inside window ending %d", ev.at, end))
+				}
+				heap.Push(&s.shards[ev.dst].pq, ev)
+			}
+			sh.outbox = sh.outbox[:0]
+		}
+		s.now = maxNow
+		if s.tel != nil {
+			s.tel.windows.Inc()
+			s.tel.safeWindowNs.Set(end - T)
+			s.tel.activeShards.Set(int64(len(active)))
+			s.tel.windowEvents.Observe(int64(windowEvents))
+		}
+	}
+}
+
+// runWindow drains this shard's events with timestamps inside the current
+// safe window, in key order. Executed entirely by one worker; the only state
+// it touches outside the shard is the outbox (merged later, single-threaded)
+// and the concurrency-safe telemetry counters.
+func (sh *Shard) runWindow() uint64 {
+	var n uint64
+	for len(sh.pq) > 0 && sh.pq[0].at < sh.winEnd {
+		ev := heap.Pop(&sh.pq).(*event)
+		sh.now = ev.at
+		sh.executed++
+		if sh.sim.traceOn {
+			sh.trace = append(sh.trace, TraceEntry{At: ev.at, Dst: ev.dst, Src: ev.src, Seq: ev.seq})
+		}
+		ev.fn()
+		n++
+	}
+	sh.windowExecuted = n
+	return n
+}

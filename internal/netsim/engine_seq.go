@@ -1,0 +1,36 @@
+// engine_seq.go — the sequential execution engine: one global heap, events
+// executed strictly in key order (time, dst shard, src shard, channel seq).
+// This is the reference semantics; the parallel engine (engine_par.go) is
+// proven against it event-trace-for-event-trace by RunBoth and the
+// equivalence test suite.
+package netsim
+
+import "container/heap"
+
+// Run executes events sequentially until the queue empties or virtual time
+// exceeds until (0 = run to completion). It returns the final time.
+func (s *Sim) Run(until int64) int64 {
+	s.running = true
+	defer func() {
+		s.running = false
+		s.cur = s.shards[0]
+	}()
+	for len(s.pq) > 0 {
+		ev := s.pq[0]
+		if until > 0 && ev.at > until {
+			s.now = until
+			return s.now
+		}
+		heap.Pop(&s.pq)
+		sh := s.shards[ev.dst]
+		s.now = ev.at
+		sh.now = ev.at
+		s.cur = sh
+		sh.executed++
+		if s.traceOn {
+			sh.trace = append(sh.trace, TraceEntry{At: ev.at, Dst: ev.dst, Src: ev.src, Seq: ev.seq})
+		}
+		ev.fn()
+	}
+	return s.now
+}

@@ -1,0 +1,127 @@
+// equiv.go — the differential harness that makes determinism-equivalence a
+// first-class package feature: record full event traces under both engines
+// and diff them entry for entry, not just compare final state. The parallel
+// engine's correctness claim *is* "bit-identical to sequential", so the
+// harness is the spec.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TraceEntry is the deterministic identity of one executed event: its
+// timestamp and full ordering key. Callbacks are opaque, but every side
+// effect a callback has on the simulation schedule shows up as child keys,
+// so two runs with equal traces executed equal event sequences; scenario
+// state digests (RunBoth) close the loop on user-visible state.
+type TraceEntry struct {
+	At       int64
+	Dst, Src int32
+	Seq      uint64
+}
+
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("t=%d dst=%d src=%d seq=%d", e.At, e.Dst, e.Src, e.Seq)
+}
+
+func (e TraceEntry) less(o TraceEntry) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	if e.Dst != o.Dst {
+		return e.Dst < o.Dst
+	}
+	if e.Src != o.Src {
+		return e.Src < o.Src
+	}
+	return e.Seq < o.Seq
+}
+
+// EnableTrace turns on event-trace recording (off by default; recording
+// costs one append per event).
+func (s *Sim) EnableTrace() { s.traceOn = true }
+
+// Trace returns the canonical execution trace: every executed event's key,
+// in the global deterministic order. Workers record per shard; the merge
+// sorts by key, which for the sequential engine is exactly execution order
+// and for the parallel engine is the order the sequential engine would have
+// used — equality of traces is therefore the bit-identity criterion.
+func (s *Sim) Trace() []TraceEntry {
+	var out []TraceEntry
+	for _, sh := range s.shards {
+		out = append(out, sh.trace...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Scenario builds one topology instance into a fresh Sim and returns a
+// digest function summarizing the user-visible final state (delivered
+// bytes, drop counters, ...), evaluated after the run. Builders must not
+// share mutable state across invocations: RunBoth calls the scenario once
+// per engine.
+type Scenario func(s *Sim) (digest func() string)
+
+// EquivResult holds one sequential-vs-parallel differential run.
+type EquivResult struct {
+	SeqEnd, ParEnd       int64
+	SeqEvents, ParEvents uint64
+	SeqTrace, ParTrace   []TraceEntry
+	SeqDigest, ParDigest string
+}
+
+// Err returns nil when the two runs were bit-identical, or an error naming
+// the first divergence (end time, trace entry, or state digest).
+func (r *EquivResult) Err() error {
+	if r.SeqEnd != r.ParEnd {
+		return fmt.Errorf("final time diverges: seq=%d par=%d", r.SeqEnd, r.ParEnd)
+	}
+	n := len(r.SeqTrace)
+	if len(r.ParTrace) < n {
+		n = len(r.ParTrace)
+	}
+	for i := 0; i < n; i++ {
+		if r.SeqTrace[i] != r.ParTrace[i] {
+			return fmt.Errorf("trace diverges at event %d: seq(%s) par(%s)", i, r.SeqTrace[i], r.ParTrace[i])
+		}
+	}
+	if len(r.SeqTrace) != len(r.ParTrace) {
+		return fmt.Errorf("trace length diverges after %d common events: seq=%d par=%d",
+			n, len(r.SeqTrace), len(r.ParTrace))
+	}
+	if r.SeqDigest != r.ParDigest {
+		return fmt.Errorf("state digest diverges:\nseq: %s\npar: %s", r.SeqDigest, r.ParDigest)
+	}
+	return nil
+}
+
+// RunBoth executes the scenario under both engines — sequential and
+// safe-window parallel with the given worker count — diffing full event
+// traces and state digests. until bounds virtual time (0 = completion).
+// The returned error is EquivResult.Err().
+func RunBoth(until int64, workers int, scenario Scenario) (*EquivResult, error) {
+	r := &EquivResult{}
+
+	seq := NewSim()
+	seq.EnableTrace()
+	seqDigest := scenario(seq)
+	r.SeqEnd = seq.Run(until)
+	r.SeqEvents = seq.Executed()
+	r.SeqTrace = seq.Trace()
+	if seqDigest != nil {
+		r.SeqDigest = seqDigest()
+	}
+
+	par := NewSim()
+	par.EnableTrace()
+	parDigest := scenario(par)
+	r.ParEnd = par.RunParallel(until, workers)
+	r.ParEvents = par.Executed()
+	r.ParTrace = par.Trace()
+	if parDigest != nil {
+		r.ParDigest = parDigest()
+	}
+
+	return r, r.Err()
+}

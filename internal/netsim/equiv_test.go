@@ -1,0 +1,337 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"colibri/internal/qos"
+	"colibri/internal/telemetry"
+)
+
+// ringScenario builds a ring of 5 shards (the root plus four more), each with
+// a rate source, a forwarding router, a sink counter, and a port to the next
+// member. Packets carry a seeded hop count and class; routers decrement hops
+// and forward until the packet sinks locally. Link latencies differ per hop
+// (1.0–1.8 ms) so the safe window (1 ms) spans several hops' activity.
+//
+// variant selects the fault treatment:
+//
+//	"clean"       perfect links
+//	"loss-jitter" 5% loss and up to 0.3 ms jitter on every ring link
+//	"partition"   links 2→3 and 3→4 down during [5 ms, 10 ms)
+//	"crash"       member 1's router detached during [5 ms, 12 ms)
+func ringScenario(seed uint64, variant string) Scenario {
+	return func(s *Sim) func() string {
+		const n = 5
+		const stop = 20e6 // 20 ms of traffic
+
+		members := make([]*Shard, n)
+		members[0] = s.Root()
+		for i := 1; i < n; i++ {
+			members[i] = s.NewShard()
+		}
+
+		sinks := make([]*Counter, n)
+		ports := make([]*Port, n)
+		routers := make([]Node, n)
+		for i := 0; i < n; i++ {
+			sinks[i] = NewCounter()
+			i := i
+			routers[i] = NodeFunc(func(pkt *Packet, _ int) {
+				hops := pkt.Meta.(int)
+				if hops <= 0 {
+					sinks[i].Receive(pkt, 0)
+					return
+				}
+				pkt.Meta = hops - 1
+				ports[i].Send(pkt)
+			})
+		}
+
+		var det *Detachable
+		if variant == "crash" {
+			det = NewDetachable(routers[1])
+			members[1].At(5e6, det.Detach)
+			members[1].At(12e6, det.Attach)
+		}
+
+		for i := 0; i < n; i++ {
+			next := (i + 1) % n
+			dst := routers[next]
+			if det != nil && next == 1 {
+				dst = det
+			}
+			lat := int64(1e6 + float64(i)*2e5)
+			ports[i] = NewShardPort(members[i], fmt.Sprintf("ring%d", i),
+				100_000, lat, qos.StrictPriority, dst, members[next], 0)
+			if variant == "loss-jitter" {
+				ports[i].SetFaults(NewFaultPlan(seed*31 + uint64(i)).SetLoss(0.05).SetJitter(3e5))
+			}
+		}
+		if variant == "partition" {
+			Partition(5e6, 10e6, ports[2], ports[3])
+		}
+
+		for i := 0; i < n; i++ {
+			rng := NewRand(seed + uint64(i)*1013)
+			src := &Source{
+				Sim:      s,
+				Dst:      routers[i],
+				Shard:    members[i],
+				RateKbps: 40_000,
+				PktBytes: 500,
+				StopNs:   stop,
+				Make: func() *Packet {
+					return &Packet{
+						WireSize: 500,
+						Class:    qos.Class(rng.Uint64() % uint64(qos.NumClasses)),
+						Meta:     1 + int(rng.Uint64()%uint64(2*n)),
+					}
+				},
+			}
+			src.Start(1000)
+		}
+
+		return func() string {
+			var b strings.Builder
+			for i := 0; i < n; i++ {
+				fmt.Fprintf(&b, "m%d sink=%v sent=%v drops=%v\n",
+					i, sinks[i].Bytes, ports[i].Sent, ports[i].Drops())
+			}
+			if det != nil {
+				fmt.Fprintf(&b, "det dropped=%d\n", det.Dropped)
+			}
+			return b.String()
+		}
+	}
+}
+
+// starScenario builds a hub (root shard) and 6 leaves with *identical* link
+// latencies, rates, and start times, so deliveries from every leaf reach the
+// hub at exactly the same timestamps: the (dst, src, seq) tie-break carries
+// the full ordering burden. The hub's router is stateful (a modulo counter
+// choosing which leaf gets an echo), so any ordering divergence immediately
+// changes user-visible state, not just traces.
+func starScenario(seed uint64, variant string) Scenario {
+	return func(s *Sim) func() string {
+		const leaves = 6
+		const stop = 15e6
+
+		hub := s.Root()
+		hubSink := NewCounter()
+		back := make([]*Port, leaves)
+		leafSinks := make([]*Counter, leaves)
+		up := make([]*Port, leaves)
+
+		var echoed int
+		hubRouter := NodeFunc(func(pkt *Packet, _ int) {
+			hubSink.Receive(pkt, 0)
+			echoed++
+			if echoed%3 == 0 {
+				back[echoed/3%leaves].Send(&Packet{WireSize: 200, Class: pkt.Class})
+			}
+		})
+
+		for i := 0; i < leaves; i++ {
+			leaf := s.NewShard()
+			leafSinks[i] = NewCounter()
+			up[i] = NewShardPort(leaf, fmt.Sprintf("up%d", i),
+				80_000, 1e6, qos.StrictPriority, hubRouter, hub, 0)
+			back[i] = NewShardPort(hub, fmt.Sprintf("down%d", i),
+				80_000, 1e6, qos.StrictPriority, leafSinks[i], leaf, 0)
+			if variant == "loss" {
+				up[i].SetFaults(NewFaultPlan(seed ^ uint64(i)<<8).SetLoss(0.1))
+			}
+
+			rng := NewRand(seed*7 + uint64(i))
+			port := up[i]
+			src := &Source{
+				Sim:      s,
+				Dst:      NodeFunc(func(pkt *Packet, _ int) { port.Send(pkt) }),
+				Shard:    leaf,
+				RateKbps: 20_000,
+				PktBytes: 400,
+				StopNs:   stop,
+				Make: func() *Packet {
+					return &Packet{
+						WireSize: 400,
+						Class:    qos.Class(rng.Uint64() % uint64(qos.NumClasses)),
+					}
+				},
+			}
+			src.Start(1000) // identical start on every leaf → timestamp collisions
+		}
+
+		return func() string {
+			var b strings.Builder
+			fmt.Fprintf(&b, "hub sink=%v echoed=%d\n", hubSink.Bytes, echoed)
+			for i := 0; i < leaves; i++ {
+				fmt.Fprintf(&b, "leaf%d sink=%v up=%v drops=%v\n",
+					i, leafSinks[i].Bytes, up[i].Sent, up[i].Drops())
+			}
+			return b.String()
+		}
+	}
+}
+
+// equivVariants is the table of topology × fault treatments the equivalence
+// suite sweeps. Shared with the fuzz harness.
+var equivVariants = []struct {
+	name  string
+	build func(seed uint64) Scenario
+}{
+	{"ring/clean", func(seed uint64) Scenario { return ringScenario(seed, "clean") }},
+	{"ring/loss-jitter", func(seed uint64) Scenario { return ringScenario(seed, "loss-jitter") }},
+	{"ring/partition", func(seed uint64) Scenario { return ringScenario(seed, "partition") }},
+	{"ring/crash", func(seed uint64) Scenario { return ringScenario(seed, "crash") }},
+	{"star/clean", func(seed uint64) Scenario { return starScenario(seed, "clean") }},
+	{"star/loss", func(seed uint64) Scenario { return starScenario(seed, "loss") }},
+}
+
+// TestParallelEquivalence is the tentpole guarantee: for every variant and
+// seed, the parallel engine's full event trace and final user-visible state
+// are bit-identical to the sequential engine's.
+func TestParallelEquivalence(t *testing.T) {
+	for _, v := range equivVariants {
+		for seed := uint64(1); seed <= 8; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", v.name, seed), func(t *testing.T) {
+				r, err := RunBoth(0, 4, v.build(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.SeqEvents < 500 {
+					t.Fatalf("scenario too small to be meaningful: %d events", r.SeqEvents)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelWorkerCounts checks the trace is invariant under the worker
+// count (the schedule must not leak into the simulation).
+func TestParallelWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			if _, err := RunBoth(0, workers, ringScenario(42, "loss-jitter")); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelUntil checks time-bounded runs: both engines stop at the same
+// virtual time with the same partial trace, and resuming afterwards (even
+// switching engines mid-simulation) still converges to the sequential result.
+func TestParallelUntil(t *testing.T) {
+	scenario := ringScenario(7, "clean")
+
+	seq := NewSim()
+	seq.EnableTrace()
+	seqDigest := scenario(seq)
+	seqEnd := seq.Run(0)
+
+	par := NewSim()
+	par.EnableTrace()
+	parDigest := scenario(par)
+	if got, want := par.RunParallel(8e6, 4), int64(8e6); got != want {
+		t.Fatalf("RunParallel(8ms) ended at %d, want %d", got, want)
+	}
+	mid := par.Run(12e6) // sequential leg over the same shard state
+	if mid != 12e6 {
+		t.Fatalf("Run(12ms) ended at %d", mid)
+	}
+	parEnd := par.RunParallel(0, 4)
+
+	if parEnd != seqEnd {
+		t.Fatalf("final time diverges: seq=%d par=%d", seqEnd, parEnd)
+	}
+	if s, p := seqDigest(), parDigest(); s != p {
+		t.Fatalf("state digest diverges after engine switching:\nseq: %s\npar: %s", s, p)
+	}
+	st, pt := seq.Trace(), par.Trace()
+	if len(st) != len(pt) {
+		t.Fatalf("trace lengths diverge: seq=%d par=%d", len(st), len(pt))
+	}
+	for i := range st {
+		if st[i] != pt[i] {
+			t.Fatalf("trace diverges at %d: seq(%s) par(%s)", i, st[i], pt[i])
+		}
+	}
+}
+
+// TestParallelTelemetry checks the engine's instruments: windows advance,
+// the safe-window gauge equals the declared lookahead, and per-worker
+// occupancy counters sum to the executed-event total.
+func TestParallelTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry("test")
+	s := NewSim()
+	s.SetTelemetry(reg)
+	scenario := ringScenario(3, "clean")
+	scenario(s)
+	s.RunParallel(0, 4)
+
+	snap := reg.Snapshot()
+	if snap.Counters["netsim.par.windows"] < 2 {
+		t.Fatalf("expected multiple safe windows, got %d", snap.Counters["netsim.par.windows"])
+	}
+	if got := snap.Gauges["netsim.par.safe_window_ns"]; got != 1e6 {
+		t.Fatalf("safe_window_ns = %d, want 1e6 (min ring latency)", got)
+	}
+	var workerSum uint64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "netsim.par.worker") {
+			workerSum += v
+		}
+	}
+	if workerSum != s.Executed() {
+		t.Fatalf("worker occupancy sum %d != executed %d", workerSum, s.Executed())
+	}
+}
+
+// TestCrossLookaheadViolation checks the guard rails fire identically under
+// both engines: scheduling a cross-shard event closer than the lookahead
+// panics during Run and during RunParallel.
+func TestCrossLookaheadViolation(t *testing.T) {
+	build := func() (*Sim, *Shard) {
+		s := NewSim()
+		sh := s.NewShard()
+		s.SetLookahead(1000)
+		s.Root().At(500, func() {
+			s.Root().Cross(sh, 600, func() {}) // 600 < 500+1000
+		})
+		return s, sh
+	}
+	for _, engine := range []string{"seq", "par"} {
+		t.Run(engine, func(t *testing.T) {
+			s, _ := build()
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected lookahead-violation panic")
+				}
+			}()
+			if engine == "seq" {
+				s.Run(0)
+			} else {
+				s.RunParallel(0, 2)
+			}
+		})
+	}
+}
+
+// TestSimNowPanicsInsideWindow checks the loud-misuse guard: global-clock
+// reads from inside a parallel window of a multi-shard simulation panic.
+func TestSimNowPanicsInsideWindow(t *testing.T) {
+	s := NewSim()
+	sh := s.NewShard()
+	s.SetLookahead(1000)
+	panicked := false
+	sh.At(10, func() {
+		defer func() { panicked = recover() != nil }()
+		s.Now()
+	})
+	s.RunParallel(0, 2)
+	if !panicked {
+		t.Fatal("Sim.Now inside a parallel window should panic")
+	}
+}

@@ -9,82 +9,21 @@
 // exactly. Packets carry real header bytes (so the full cryptographic
 // data-plane runs) plus a virtual wire size, so multi-Gbps loads simulate in
 // milliseconds of CPU time.
+//
+// The simulator has two execution engines over one event core (shard.go):
+// the sequential reference engine (Sim.Run) and a safe-window parallel
+// engine (Sim.RunParallel) for thousand-AS topologies, proven bit-identical
+// by the RunBoth differential harness (equiv.go, DESIGN.md §6). Simulation
+// state is partitioned into shards (one per simulated AS in scale runs);
+// everything built without explicit shards lives on the root shard and runs
+// exactly as the classic single-threaded simulator.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"colibri/internal/qos"
 )
-
-// Sim is the event loop. Not safe for concurrent use; nodes run inside
-// event callbacks.
-type Sim struct {
-	now int64
-	pq  eventQueue
-	seq uint64
-}
-
-// NewSim creates a simulator at time 0.
-func NewSim() *Sim { return &Sim{} }
-
-// Now returns the current virtual time in nanoseconds.
-func (s *Sim) Now() int64 { return s.now }
-
-// At schedules fn at absolute time t (≥ now).
-func (s *Sim) At(t int64, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
-}
-
-// After schedules fn after a delay.
-func (s *Sim) After(d int64, fn func()) { s.At(s.now+d, fn) }
-
-// Run executes events until the queue empties or virtual time exceeds
-// until (0 = run to completion). It returns the final time.
-func (s *Sim) Run(until int64) int64 {
-	for len(s.pq) > 0 {
-		ev := s.pq[0]
-		if until > 0 && ev.at > until {
-			s.now = until
-			return s.now
-		}
-		heap.Pop(&s.pq)
-		s.now = ev.at
-		ev.fn()
-	}
-	return s.now
-}
-
-type event struct {
-	at  int64
-	seq uint64 // FIFO tiebreak for simultaneous events
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
 
 // Packet is one simulated packet: Header carries the real Colibri bytes (so
 // routers run the actual cryptographic hot path); WireSize is the modelled
@@ -134,9 +73,14 @@ func deliverBurst(dst Node, pkts []*Packet, inPort int) {
 }
 
 // Port is one output port: a class scheduler draining onto a link of fixed
-// capacity and latency towards a destination node.
+// capacity and latency towards a destination node. A port belongs to the
+// shard of its *sending* node (src): Send must only be called from that
+// shard's event callbacks (or from setup code), and all port state lives
+// there. Delivery to a destination on another shard crosses via the
+// lookahead-respecting event channel.
 type Port struct {
-	sim          *Sim
+	src          *Shard // owning (sending-side) shard
+	dstSh        *Shard // shard the destination node belongs to
 	name         string
 	capBitsPerNs float64 // link capacity in bits per nanosecond
 	latencyNs    int64
@@ -148,21 +92,41 @@ type Port struct {
 	// transmission event (1 = per-packet events, the default).
 	burst int
 	// free recycles burst slices between events, keeping burst delivery
-	// allocation-free in steady state.
+	// allocation-free in steady state. Cross-shard ports cannot recycle
+	// (the slice is consumed on the destination shard), so their pool
+	// stays empty and takeBurst allocates.
 	free [][]*Packet
 	// faults optionally injects loss, jitter, and down windows (see
-	// faults.go); nil means a perfect link.
+	// faults.go); nil means a perfect link. Owned by the sending shard.
 	faults *FaultPlan
 
 	// Sent counts delivered bytes per class (at the sending side).
 	Sent [qos.NumClasses]uint64
 }
 
-// NewPort creates an output port on sim with the given link capacity (kbps),
-// propagation latency, scheduling policy, and destination.
+// NewPort creates an output port on sim's root shard with the given link
+// capacity (kbps), propagation latency, scheduling policy, and destination.
 func NewPort(sim *Sim, name string, capacityKbps uint64, latencyNs int64, policy qos.Policy, dst Node, dstPort int) *Port {
+	return NewShardPort(sim.Root(), name, capacityKbps, latencyNs, policy, dst, sim.Root(), dstPort)
+}
+
+// NewShardPort creates an output port owned by the src shard whose
+// destination node lives on dstSh. Cross-shard ports must have a positive
+// propagation latency: the minimum such latency across the simulation is
+// the parallel engine's lookahead (the safe-window width).
+func NewShardPort(src *Shard, name string, capacityKbps uint64, latencyNs int64, policy qos.Policy, dst Node, dstSh *Shard, dstPort int) *Port {
+	if src.sim != dstSh.sim {
+		panic("netsim: port shards belong to different simulators")
+	}
+	if src != dstSh {
+		if latencyNs < 1 {
+			panic("netsim: cross-shard ports need positive latency (it bounds the safe window)")
+		}
+		src.sim.noteLookahead(latencyNs)
+	}
 	return &Port{
-		sim:          sim,
+		src:          src,
+		dstSh:        dstSh,
 		name:         name,
 		capBitsPerNs: float64(capacityKbps) * 1000 / 1e9,
 		latencyNs:    latencyNs,
@@ -198,13 +162,16 @@ func (p *Port) Drops() [qos.NumClasses]uint64 { return p.sched.Drops }
 // Name returns the port's name.
 func (p *Port) Name() string { return p.name }
 
+// Shard returns the port's owning (sending-side) shard.
+func (p *Port) Shard() *Shard { return p.src }
+
 // QueuedBytes returns the bytes currently queued in one class.
 func (p *Port) QueuedBytes(c qos.Class) int { return p.sched.QueuedBytes(c) }
 
 // Send enqueues a packet for transmission; drops follow the scheduler's
-// per-class limits.
+// per-class limits. Must be called from the owning shard.
 func (p *Port) Send(pkt *Packet) {
-	if !p.faults.Admit(p.sim.Now()) {
+	if !p.faults.Admit(p.src.Now()) {
 		return
 	}
 	if !p.sched.Enqueue(pkt, pkt.Class, pkt.WireSize) {
@@ -219,7 +186,8 @@ func (p *Port) Send(pkt *Packet) {
 // transmitNext serializes the next burst of scheduled packets onto the
 // link: up to p.burst packets are drained back-to-back, their serialization
 // times summed into one event, and the whole slice delivered together
-// after the propagation latency.
+// after the propagation latency (crossing shards when the destination
+// lives elsewhere — the latency is ≥ the lookahead by construction).
 func (p *Port) transmitNext() {
 	pkt, class, size, ok := p.sched.Dequeue()
 	if !ok {
@@ -244,11 +212,20 @@ func (p *Port) transmitNext() {
 		serNs = 1
 	}
 	dst, dstPort, lat := p.dst, p.dstPort, p.latencyNs+p.faults.Jitter()
-	p.sim.After(serNs, func() {
-		p.sim.After(lat, func() {
-			deliverBurst(dst, burst, dstPort)
-			p.putBurst(burst)
-		})
+	p.src.After(serNs, func() {
+		if p.dstSh == p.src {
+			p.src.After(lat, func() {
+				deliverBurst(dst, burst, dstPort)
+				p.putBurst(burst)
+			})
+		} else {
+			// The delivery executes on the destination shard; the slice is
+			// handed over with it and not recycled (the sending shard may
+			// already be transmitting again when it is consumed).
+			p.src.CrossAfter(p.dstSh, lat, func() {
+				deliverBurst(dst, burst, dstPort)
+			})
+		}
 		p.transmitNext()
 	})
 }
@@ -280,6 +257,10 @@ type Source struct {
 	Sim     *Sim
 	Dst     Node
 	DstPort int
+	// Shard places the source (and thus its generation events and its
+	// direct deliveries into Dst) on a specific shard; nil means the root
+	// shard. Dst must live on the same shard: delivery is a direct call.
+	Shard *Shard
 	// RateKbps and PktBytes define the generation rate.
 	RateKbps uint64
 	PktBytes int
@@ -297,6 +278,10 @@ func (src *Source) Start(startNs int64) {
 	if src.RateKbps == 0 {
 		return
 	}
+	sh := src.Shard
+	if sh == nil {
+		sh = src.Sim.Root()
+	}
 	burst := src.Burst
 	if burst < 1 {
 		burst = 1
@@ -309,7 +294,7 @@ func (src *Source) Start(startNs int64) {
 	var tick func()
 	next := startNs
 	tick = func() {
-		if src.Sim.Now() >= src.StopNs {
+		if sh.Now() >= src.StopNs {
 			return
 		}
 		for i := range buf {
@@ -317,9 +302,9 @@ func (src *Source) Start(startNs int64) {
 		}
 		deliverBurst(src.Dst, buf, src.DstPort)
 		next += interval
-		src.Sim.At(next, tick)
+		sh.At(next, tick)
 	}
-	src.Sim.At(startNs, tick)
+	sh.At(startNs, tick)
 }
 
 // Counter is a sink node counting received bytes per class and per meta

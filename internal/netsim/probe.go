@@ -10,10 +10,12 @@ import (
 // Probe samples watched ports on virtual-time ticks into a telemetry
 // registry: delivered bytes become per-class counters, instantaneous queue
 // depths become per-class histograms (so queue-buildup percentiles come for
-// free), and drops become counters. Sampling runs inside the event loop, so
-// no synchronization with the (single-threaded) simulator is needed.
+// free), and drops become counters. Sampling runs inside the event loop on
+// one shard, so it may only watch ports owned by that shard (port state is
+// only coherent from its owning shard during RunParallel); NewProbe binds
+// the root shard, NewShardProbe any other.
 type Probe struct {
-	sim      *Sim
+	sh       *Shard
 	reg      *telemetry.Registry
 	interval int64
 	ports    []*probePort
@@ -28,18 +30,28 @@ type probePort struct {
 	lastDrops [qos.NumClasses]uint64
 }
 
-// NewProbe builds a probe sampling every intervalNs of virtual time.
+// NewProbe builds a probe on the root shard sampling every intervalNs of
+// virtual time.
 func NewProbe(sim *Sim, reg *telemetry.Registry, intervalNs int64) *Probe {
+	return NewShardProbe(sim.Root(), reg, intervalNs)
+}
+
+// NewShardProbe builds a probe whose sampling ticks run on sh; it may only
+// watch ports owned by sh.
+func NewShardProbe(sh *Shard, reg *telemetry.Registry, intervalNs int64) *Probe {
 	if intervalNs <= 0 {
 		intervalNs = 1e6 // 1 ms of virtual time
 	}
-	return &Probe{sim: sim, reg: reg, interval: intervalNs}
+	return &Probe{sh: sh, reg: reg, interval: intervalNs}
 }
 
 // Watch adds ports to the sampling set. Instruments are named
 // netsim.<port>.{sent_bytes,drop_pkts,queued_bytes}.<class>.
 func (p *Probe) Watch(ports ...*Port) {
 	for _, port := range ports {
+		if port.src != p.sh {
+			panic("netsim: probe may only watch ports on its own shard")
+		}
 		pp := &probePort{port: port}
 		prefix := fmt.Sprintf("netsim.%s.", port.Name())
 		// Dynamic name parts are bounded: ports come from the finite
@@ -61,12 +73,12 @@ func (p *Probe) Start(stopNs int64) {
 	var tick func()
 	tick = func() {
 		p.sample()
-		if stopNs > 0 && p.sim.Now()+p.interval > stopNs {
+		if stopNs > 0 && p.sh.Now()+p.interval > stopNs {
 			return
 		}
-		p.sim.After(p.interval, tick)
+		p.sh.After(p.interval, tick)
 	}
-	p.sim.After(p.interval, tick)
+	p.sh.After(p.interval, tick)
 }
 
 // sample records the delta of delivered/dropped bytes and the instantaneous

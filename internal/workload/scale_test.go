@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"testing"
+
+	"colibri/internal/topology"
+)
+
+func TestBuildRoutesLine(t *testing.T) {
+	// Line of 5 ASes: next hop from either end toward the other is always
+	// the adjacent AS.
+	topo := topology.Line(5, 1, topology.LinkSpec{CapacityKbps: 1000, LatencyNs: 1e6})
+	rt := BuildRoutes(topo)
+	ias := topo.SortedIAs()
+	if got := rt.NextHop(ias[0], ias[4]); got != ias[1] {
+		t.Fatalf("NextHop(%s → %s) = %s, want %s", ias[0], ias[4], got, ias[1])
+	}
+	if got := rt.NextHop(ias[4], ias[0]); got != ias[3] {
+		t.Fatalf("NextHop(%s → %s) = %s, want %s", ias[4], ias[0], got, ias[3])
+	}
+	if got := rt.NextHop(ias[2], ias[2]); got != 0 {
+		t.Fatalf("NextHop to self = %s, want zero", got)
+	}
+}
+
+func TestBuildRoutesGeneratedAllReachable(t *testing.T) {
+	topo := topology.Generate(topology.GenSpec{ISDs: 2, Seed: 3})
+	rt := BuildRoutes(topo)
+	for d := range rt.IAs {
+		for c := range rt.IAs {
+			if c != d && rt.Next[d][c] < 0 {
+				t.Fatalf("%s cannot reach %s", rt.IAs[c], rt.IAs[d])
+			}
+		}
+	}
+}
+
+func TestScaleFlowsDeterministic(t *testing.T) {
+	topo := topology.Generate(topology.GenSpec{ISDs: 1, ProvidersPerISD: 3, LeavesPerISD: 10, Seed: 9})
+	a := ScaleFlows(topo, 50, 42)
+	b := ScaleFlows(topo, 50, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i].Src == a[i].Dst {
+			t.Fatalf("flow %d is a self-loop: %v", i, a[i])
+		}
+	}
+	if c := ScaleFlows(topo, 50, 43); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced identical leading flows")
+	}
+}
