@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"colibri/internal/admission"
+	"colibri/internal/cserv"
 	"colibri/internal/experiments"
 	"colibri/internal/gateway"
 	"colibri/internal/netsim"
@@ -441,6 +442,102 @@ func BenchmarkCServThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCPlane: renewal throughput of the sharded control-plane engine
+// (cserv.CPlane) vs. concurrent-EER population, admission implementation and
+// shard count. One iteration is one full renewal wave over the population
+// via RenewBatch; the ns/renew and renews/s metrics are per-EER, directly
+// comparable across populations. Populations above 10^4 (including the
+// million-EER point) run only without -short; the naive O(n) admission is
+// skipped at 10^6 where its quadratic SegR-setup phase alone would dominate
+// the suite.
+func BenchmarkCPlane(b *testing.B) {
+	sizes := []int{1_000, 10_000}
+	if !testing.Short() {
+		sizes = append(sizes, 100_000, 1_000_000)
+	}
+	impls := []string{admission.ImplNaive, admission.ImplMemoized, admission.ImplRestree}
+	for _, n := range sizes {
+		for _, impl := range impls {
+			if impl == admission.ImplNaive && n > 100_000 {
+				continue
+			}
+			for _, shards := range []int{1, 4, 16} {
+				b.Run(fmt.Sprintf("eers=%d/impl=%s/shards=%d", n, impl, shards), func(b *testing.B) {
+					segrs := n / 10
+					var now uint32 = 1_000_000
+					src := topology.MustIA(1, 7)
+					topo := topology.New()
+					topo.AddAS(topology.MustIA(1, 1), true)
+					capKbps := uint64(segrs) * 2_000
+					if capKbps < 1_000_000 {
+						capKbps = 1_000_000
+					}
+					for i := 1; i <= 4; i++ {
+						nbr := topology.MustIA(1, topology.ASID(100+i))
+						topo.AddAS(nbr, true)
+						topo.MustConnect(topology.MustIA(1, 1), topology.IfID(i), nbr, 1,
+							topology.LinkCore, topology.LinkSpec{CapacityKbps: capKbps})
+					}
+					cp, err := cserv.NewCPlane(cserv.CPlaneConfig{
+						AS:            topo.AS(topology.MustIA(1, 1)),
+						Split:         admission.DefaultSplit,
+						Shards:        shards,
+						AdmissionImpl: impl,
+						LedgerEpochs:  64,
+						Clock:         func() uint32 { return now },
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					segID := func(i int) reservation.ID { return reservation.ID{SrcAS: src, Num: uint32(i)} }
+					eerID := func(i int) reservation.ID { return reservation.ID{SrcAS: src, Num: uint32(1<<30 | i)} }
+					for i := 0; i < segrs; i++ {
+						if _, err := cp.AddSegR(admission.Request{
+							ID: segID(i), Src: src,
+							In: topology.IfID(1 + i%4), Eg: topology.IfID(1 + (i+1)%4),
+							MaxKbps: 1_000,
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					items := make([]cserv.EERRenewal, n)
+					results := make([]cserv.RenewResult, n)
+					for i := 0; i < n; i++ {
+						if err := cp.SetupEER(eerID(i), segID(i%segrs), 100, now+16); err != nil {
+							b.Fatal(err)
+						}
+						items[i] = cserv.EERRenewal{EER: eerID(i), Seg: segID(i % segrs), BwKbps: 100}
+					}
+					wave := func() {
+						now += 4
+						for i := range items {
+							items[i].ExpT = now + 16
+						}
+						cp.RenewBatch(items, results)
+					}
+					wave() // warm up ledger heaps and map buckets
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						wave()
+					}
+					b.StopTimer()
+					for i := range results {
+						if results[i].Err != nil {
+							b.Fatalf("renewal %d: %v", i, results[i].Err)
+						}
+					}
+					renewals := int64(b.N) * int64(n)
+					if sec := b.Elapsed().Seconds(); sec > 0 {
+						b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(renewals), "ns/renew")
+						b.ReportMetric(float64(renewals)/sec, "renews/s")
+					}
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkVetSelf measures the colibri-vet invariant gate on this

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|all]
+//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|all]
 //
 // With -quick, reduced parameter grids keep the total runtime under a
 // minute; the default grids match the paper's sweeps (fig5/fig6 with
@@ -139,6 +139,19 @@ func main() {
 		}
 		fmt.Print(experiments.FormatChaos(r))
 	})
+	run("cplane", func() {
+		cfg := experiments.CPlaneConfig{}
+		if *quick {
+			cfg.Sizes = []int{1_000, 10_000}
+			cfg.Shards = []int{1, 4}
+		}
+		rows, err := experiments.RunCPlane(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cplane: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatCPlane(rows))
+	})
 	run("scale", func() {
 		sizes := []int{100, 1000}
 		if *quick {
@@ -160,7 +173,7 @@ func main() {
 	})
 	if !ran {
 		fmt.Fprintf(os.Stderr,
-			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|all)\n", what)
+			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|all)\n", what)
 		os.Exit(2)
 	}
 	if reg != nil {

@@ -1,0 +1,80 @@
+// Package restree is the fixture for the reservation-tree contract: the
+// package name places it in the analyzer's deterministic set (the real
+// internal/restree backs admission decisions, so any wall-clock read or
+// unordered iteration would make grants irreproducible), and its query
+// paths carry //colibri:nomalloc. Each Bad* function reintroduces one
+// seeded violation; the Good* shapes must stay clean.
+package restree
+
+import (
+	"sort"
+	"time"
+)
+
+// Ledger is a miniature of the real demand ledger: a demand value per
+// reservation key plus an epoch-indexed profile.
+type Ledger struct {
+	entries map[string]int64
+	profile []int64
+}
+
+// BadAdvance derives the current epoch from the wall clock: finding.
+func (l *Ledger) BadAdvance() int64 {
+	return time.Now().Unix() / 4
+}
+
+// BadSnapshot leaks map iteration order into the returned series: finding.
+func (l *Ledger) BadSnapshot() []int64 {
+	var out []int64
+	for _, bw := range l.entries {
+		out = append(out, bw)
+	}
+	return out
+}
+
+// BadMax allocates a scratch copy inside an annotated query: finding.
+//
+//colibri:nomalloc
+func (l *Ledger) BadMax(from, to int) int64 {
+	window := make([]int64, to-from)
+	copy(window, l.profile[from:to])
+	var m int64
+	for _, d := range window {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// GoodMax scans the profile in place: clean.
+//
+//colibri:nomalloc
+func (l *Ledger) GoodMax(from, to int) int64 {
+	var m int64
+	for _, d := range l.profile[from:to] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// GoodTotal folds the entries order-insensitively: clean.
+func (l *Ledger) GoodTotal() int64 {
+	var total int64
+	for _, bw := range l.entries {
+		total += bw
+	}
+	return total
+}
+
+// GoodKeys sorts collected keys before they escape: clean.
+func (l *Ledger) GoodKeys() []string {
+	keys := make([]string, 0, len(l.entries))
+	for k := range l.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -40,6 +40,8 @@ func TestFixtures(t *testing.T) {
 		{"determinism_netsim", "determinism", "./netsim/...", 1},
 		{"determinism_parallel", "determinism", "./netsimpar/...", 1},
 		{"determinism_cserv", "determinism", "./cserv/...", 1},
+		{"determinism_restree", "determinism", "./restree/...", 1},
+		{"nomalloc_restree", "nomalloc", "./restree/...", 1},
 		{"locks", "locks", "./locks/...", 1},
 		{"telemetry", "telemetry", "./tel/...", 1},
 		{"errors", "errors", "./internal/...", 1},

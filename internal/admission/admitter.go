@@ -1,0 +1,71 @@
+package admission
+
+import (
+	"fmt"
+
+	"colibri/internal/reservation"
+	"colibri/internal/topology"
+)
+
+// Admitter is the SegR admission interface the control plane programs
+// against. Three implementations exist, validated differentially against each
+// other (TestRestreeMatchesMemoized, FuzzAdmissionEquivalence):
+//
+//   - *State: memoized aggregates, O(1) per admission (the paper's design).
+//   - *NaiveState: recomputes aggregates per admission, O(n) — the ablation
+//     baseline.
+//   - *RestreeState: segment-tree demand profiles over discretized time,
+//     O(log n) per admission with automatic expiry of timed reservations.
+type Admitter interface {
+	// AdmitSegR admits one request, returning the granted bandwidth.
+	AdmitSegR(req Request) (uint64, error)
+	// RenewSegR re-admits an existing reservation with fresh scale factors;
+	// on failure the previous reservation survives untouched.
+	RenewSegR(req Request) (uint64, error)
+	// RenewSegRWithUndo is RenewSegR returning an undo closure that restores
+	// the pre-renewal snapshot (nil when there was nothing to restore).
+	RenewSegRWithUndo(req Request) (grant uint64, undo func(), err error)
+	// Release removes a reservation; unknown IDs are a no-op.
+	Release(id reservation.ID)
+	// AdjustGrant lowers a reservation's grant to the backward-pass minimum.
+	AdjustGrant(id reservation.ID, finalKbps uint64) error
+	// SetTubeCapKbps overrides the capacity of one ingress→egress tube.
+	SetTubeCapKbps(in, eg topology.IfID, capKbps uint64)
+	// AllocatedKbps returns the total granted bandwidth at an egress.
+	AllocatedKbps(eg topology.IfID) uint64
+	// GrantOf returns the recorded grant for a reservation (0 if unknown).
+	GrantOf(id reservation.ID) uint64
+	// Len returns the number of admitted reservations.
+	Len() int
+}
+
+// Implementation names accepted by NewAdmitter (and cserv.Config /
+// cserv.CPlaneConfig).
+const (
+	ImplMemoized = "memoized"
+	ImplNaive    = "naive"
+	ImplRestree  = "restree"
+)
+
+// NewAdmitter builds the named admission implementation for an AS. The empty
+// string selects the memoized default. clock (may be nil) supplies control-
+// plane time to implementations that expire timed reservations; the memoized
+// and naive implementations ignore it.
+func NewAdmitter(impl string, as *topology.AS, split TrafficSplit, clock func() uint32) (Admitter, error) {
+	switch impl {
+	case "", ImplMemoized:
+		return NewState(as, split), nil
+	case ImplNaive:
+		return NewNaiveState(as, split), nil
+	case ImplRestree:
+		return NewRestreeState(as, split, RestreeConfig{Clock: clock}), nil
+	default:
+		return nil, fmt.Errorf("admission: unknown implementation %q", impl)
+	}
+}
+
+var (
+	_ Admitter = (*State)(nil)
+	_ Admitter = (*NaiveState)(nil)
+	_ Admitter = (*RestreeState)(nil)
+)

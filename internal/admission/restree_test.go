@@ -1,0 +1,260 @@
+package admission
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"colibri/internal/restree"
+	"colibri/internal/topology"
+)
+
+// TestRestreeMatchesMemoized: for a random sequence of untimed admissions,
+// renewals and releases, the restree implementation must produce grants
+// bit-identical to the memoized one (integer demand sums are exact in both
+// representations, and the float adjusted-demand total follows the same
+// operation order).
+func TestRestreeMatchesMemoized(t *testing.T) {
+	as := testAS(t, 3, 100_000)
+	mem := NewState(as, DefaultSplit)
+	res := NewRestreeState(as, DefaultSplit, RestreeConfig{})
+	rng := rand.New(rand.NewSource(42))
+	var live []Request
+	for i := 0; i < 2000; i++ {
+		switch {
+		case len(live) > 0 && rng.Intn(4) == 0:
+			k := rng.Intn(len(live))
+			mem.Release(live[k].ID)
+			res.Release(live[k].ID)
+			live = append(live[:k], live[k+1:]...)
+		case len(live) > 0 && rng.Intn(4) == 0:
+			k := rng.Intn(len(live))
+			r := live[k]
+			r.MaxKbps = uint64(1 + rng.Intn(30_000))
+			gm, em := mem.RenewSegR(r)
+			gr, er := res.RenewSegR(r)
+			if (em == nil) != (er == nil) {
+				t.Fatalf("renew %d: memoized err %v, restree err %v", i, em, er)
+			}
+			if gm != gr {
+				t.Fatalf("renew %d: memoized grant %d, restree grant %d", i, gm, gr)
+			}
+			if em == nil {
+				live[k] = r
+			}
+		default:
+			r := req(uint32(i+1), ia(1, topology.ASID(10+rng.Intn(40))),
+				topology.IfID(rng.Intn(2)+1), 3, 0, uint64(1+rng.Intn(30_000)))
+			gm, em := mem.AdmitSegR(r)
+			gr, er := res.AdmitSegR(r)
+			if (em == nil) != (er == nil) {
+				t.Fatalf("admit %d: memoized err %v, restree err %v", i, em, er)
+			}
+			if gm != gr {
+				t.Fatalf("admit %d: memoized grant %d, restree grant %d", i, gm, gr)
+			}
+			if em == nil {
+				live = append(live, r)
+			}
+		}
+	}
+	if mem.Len() != res.Len() {
+		t.Errorf("Len: memoized %d vs restree %d", mem.Len(), res.Len())
+	}
+	if a, b := mem.AllocatedKbps(3), res.AllocatedKbps(3); a != b {
+		t.Errorf("AllocatedKbps: memoized %d vs restree %d", a, b)
+	}
+}
+
+// TestRestreeTimedExpiry: timed reservations stop consuming bandwidth once
+// their window ends, without an explicit Release.
+func TestRestreeTimedExpiry(t *testing.T) {
+	as := testAS(t, 2, 100_000)
+	now := uint32(1000)
+	res := NewRestreeState(as, DefaultSplit, RestreeConfig{
+		EpochSeconds: 4, HorizonEpochs: 64,
+		Clock: func() uint32 { return now },
+	})
+	r1 := req(1, ia(1, 10), 1, 2, 0, 40_000)
+	r1.ExpT = now + 60
+	if _, err := res.AdmitSegR(r1); err != nil {
+		t.Fatalf("admit r1: %v", err)
+	}
+	if got := res.AllocatedKbps(2); got != 40_000 {
+		t.Fatalf("allocated = %d, want 40000", got)
+	}
+	// Before expiry the second reservation competes with the first.
+	r2 := req(2, ia(1, 11), 1, 2, 0, 40_000)
+	r2.ExpT = now + 60
+	g2, err := res.AdmitSegR(r2)
+	if err != nil {
+		t.Fatalf("admit r2: %v", err)
+	}
+	if g2 >= 40_000 {
+		t.Fatalf("competing grant = %d, want < 40000", g2)
+	}
+	// Jump past both expiries: the next admission sees a clean slate.
+	now += 120
+	if res.Len() != 0 {
+		t.Fatalf("Len after expiry = %d, want 0", res.Len())
+	}
+	r3 := req(3, ia(1, 12), 1, 2, 0, 40_000)
+	r3.ExpT = now + 60
+	g3, err := res.AdmitSegR(r3)
+	if err != nil {
+		t.Fatalf("admit r3: %v", err)
+	}
+	if g3 != 40_000 {
+		t.Fatalf("post-expiry grant = %d, want full 40000", g3)
+	}
+	if got := res.AllocatedKbps(2); got != 40_000 {
+		t.Fatalf("allocated after expiry = %d, want 40000", got)
+	}
+}
+
+// TestRestreeRenewTruncates: renewing a timed reservation moves its charge to
+// the new window (seamless transition, §4.2) — the old tail is freed.
+func TestRestreeRenewTruncates(t *testing.T) {
+	as := testAS(t, 2, 100_000)
+	now := uint32(1000)
+	res := NewRestreeState(as, DefaultSplit, RestreeConfig{
+		EpochSeconds: 4, HorizonEpochs: 64,
+		Clock: func() uint32 { return now },
+	})
+	r := req(1, ia(1, 10), 1, 2, 0, 10_000)
+	r.ExpT = now + 40
+	if _, err := res.AdmitSegR(r); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	now += 20
+	r.ExpT = now + 40
+	if _, err := res.RenewSegR(r); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	// The old expiry epoch passes; the renewed reservation must survive.
+	now += 25
+	if res.Len() != 1 {
+		t.Fatalf("Len after old-window expiry = %d, want 1", res.Len())
+	}
+	now += 20
+	if res.Len() != 0 {
+		t.Fatalf("Len after renewed-window expiry = %d, want 0", res.Len())
+	}
+}
+
+func TestRestreeWindowValidation(t *testing.T) {
+	as := testAS(t, 2, 100_000)
+	now := uint32(10_000)
+	res := NewRestreeState(as, DefaultSplit, RestreeConfig{
+		EpochSeconds: 4, HorizonEpochs: 32,
+		Clock: func() uint32 { return now },
+	})
+	r := req(1, ia(1, 10), 1, 2, 0, 100)
+	r.ExpT = now - 8 // already past
+	if _, err := res.AdmitSegR(r); !errors.Is(err, ErrWindow) {
+		t.Fatalf("past-window err = %v, want ErrWindow", err)
+	}
+	r.ExpT = now + 32*4 + 8 // beyond horizon
+	if _, err := res.AdmitSegR(r); !errors.Is(err, ErrWindow) {
+		t.Fatalf("over-horizon err = %v, want ErrWindow", err)
+	}
+}
+
+func TestRestreeRenewRollback(t *testing.T) {
+	as := testAS(t, 2, 100_000)
+	res := NewRestreeState(as, DefaultSplit, RestreeConfig{})
+	r := req(1, ia(1, 10), 1, 2, 0, 5_000)
+	g, err := res.AdmitSegR(r)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	// A renewal demanding more than the link with MinKbps above any possible
+	// grant must fail and leave the old reservation intact.
+	bad := r
+	bad.MaxKbps = 90_000
+	bad.MinKbps = 90_000
+	if _, err := res.RenewSegR(bad); !errors.Is(err, ErrBelowMinimum) {
+		t.Fatalf("renew err = %v, want ErrBelowMinimum", err)
+	}
+	if got := res.GrantOf(r.ID); got != g {
+		t.Fatalf("grant after failed renew = %d, want %d", got, g)
+	}
+	if got := res.AllocatedKbps(2); got != g {
+		t.Fatalf("allocated after failed renew = %d, want %d", got, g)
+	}
+	// Undo of a successful renewal restores the old snapshot too.
+	ok := r
+	ok.MaxKbps = 7_000
+	_, undo, err := res.RenewSegRWithUndo(ok)
+	if err != nil {
+		t.Fatalf("renew with undo: %v", err)
+	}
+	undo()
+	if got := res.GrantOf(r.ID); got != g {
+		t.Fatalf("grant after undo = %d, want %d", got, g)
+	}
+}
+
+// TestRestreeSteadyStateZeroAlloc: the renewal churn path — the steady state
+// of a control plane at fixed population — must not allocate.
+func TestRestreeSteadyStateZeroAlloc(t *testing.T) {
+	as := testAS(t, 2, 100_000_000)
+	now := uint32(100_000)
+	res := NewRestreeState(as, DefaultSplit, RestreeConfig{
+		EpochSeconds: 4, HorizonEpochs: 128,
+		Clock: func() uint32 { return now },
+	})
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		reqs[i] = req(uint32(i+1), ia(1, topology.ASID(10+i%16)), 1, 2, 0, uint64(100+i))
+		reqs[i].ExpT = now + 300
+		if _, err := res.AdmitSegR(reqs[i]); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+	}
+	renewAll := func() {
+		now += 30
+		for i := range reqs {
+			reqs[i].ExpT = now + 300
+			if _, err := res.RenewSegR(reqs[i]); err != nil {
+				t.Fatal("renew failed")
+			}
+		}
+	}
+	// Warm up heap and map capacity through several full renewal waves.
+	for w := 0; w < 20; w++ {
+		renewAll()
+	}
+	if n := testing.AllocsPerRun(50, renewAll); n != 0 {
+		t.Fatalf("steady-state renewal churn allocates %.1f/run, want 0", n)
+	}
+}
+
+// TestRestreeDemandProfile exercises the telemetry snapshot iterator.
+func TestRestreeDemandProfile(t *testing.T) {
+	as := testAS(t, 2, 100_000)
+	now := uint32(1000)
+	res := NewRestreeState(as, DefaultSplit, RestreeConfig{
+		EpochSeconds: 4, HorizonEpochs: 64,
+		Clock: func() uint32 { return now },
+	})
+	r := req(1, ia(1, 10), 1, 2, 0, 9_000)
+	r.ExpT = now + 16
+	if _, err := res.AdmitSegR(r); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	var peak int64
+	var epochs int
+	res.DemandProfile(1, now, now+16, func(_ restree.Epoch, d int64) {
+		epochs++
+		if d > peak {
+			peak = d
+		}
+	})
+	if epochs != 4 {
+		t.Fatalf("profile epochs = %d, want 4", epochs)
+	}
+	if peak != 9_000 {
+		t.Fatalf("profile peak = %d, want 9000", peak)
+	}
+}

@@ -1,0 +1,504 @@
+// cplane.go — CPlane, a sharded, batched control-plane engine for one AS.
+//
+// The single-lock Service is the faithful protocol implementation; CPlane is
+// the capacity answer for the million-flow regime the paper targets (§6: "a
+// single CServ instance can handle the renewal load of hundreds of thousands
+// of EERs"). It partitions the reservation state by a hash of the owning
+// SegR's ID into 2^k independent shards. Each shard owns
+//
+//   - an admission.Admitter over a clone of the AS whose link capacities are
+//     divided by the shard count (so the sum of all shards' grants respects
+//     the physical capacities),
+//   - a restree demand ledger per SegR tracking admitted EER bandwidth over
+//     discretized time (see internal/restree and DESIGN.md §7), and
+//   - the EER records admitted against those SegRs.
+//
+// A reservation never spans shards: an EER lives in the shard of its SegR,
+// so every operation takes exactly one shard lock and shards never deadlock
+// against each other. RenewBatch processes a whole renewal wave shard-major
+// — one lock acquisition per shard per batch instead of one per renewal —
+// and is allocation-free in steady state. Aggregate counters are atomics so
+// Counts never takes a lock.
+package cserv
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"colibri/internal/admission"
+	"colibri/internal/reservation"
+	"colibri/internal/restree"
+	"colibri/internal/topology"
+)
+
+// CPlane errors. All are sentinels: the batch paths must not allocate.
+var (
+	ErrUnknownSegR = errors.New("cplane: unknown segment reservation")
+	ErrSegRInUse   = errors.New("cplane: segment reservation has live EERs")
+	ErrUnknownEER  = errors.New("cplane: unknown end-to-end reservation")
+	// ErrInsufficient rejects an EER setup or renewal whose demand exceeds
+	// the SegR's free bandwidth over the requested window (setups are
+	// full-or-nothing; renewals fall back to the previous version).
+	ErrInsufficient = errors.New("cplane: insufficient bandwidth on segment reservation")
+)
+
+// CPlaneConfig configures a sharded control-plane engine.
+type CPlaneConfig struct {
+	AS    *topology.AS
+	Split admission.TrafficSplit
+	// Shards is the number of independent state partitions; it must be a
+	// power of two. 0 selects 1.
+	Shards int
+	// AdmissionImpl names the SegR admission implementation per shard
+	// (admission.Impl*); empty selects the memoized default.
+	AdmissionImpl string
+	// EpochSeconds is the demand-ledger discretization (default 4 s);
+	// LedgerEpochs the ring horizon in epochs (default 128, i.e. 512 s —
+	// comfortably above the 16 s EER lifetime and the 300 s SegR lifetime).
+	EpochSeconds uint32
+	LedgerEpochs int
+	// Clock supplies control-plane time in Unix seconds. Required.
+	Clock func() uint32
+}
+
+// CPlane is the sharded engine. Methods are safe for concurrent use; calls
+// touching different shards proceed in parallel.
+type CPlane struct {
+	shards []*cplaneShard
+	mask   uint64
+	clock  func() uint32
+
+	epochSec     uint32
+	ledgerEpochs int
+
+	segCount atomic.Int64
+	eerCount atomic.Int64
+	admits   atomic.Uint64
+	renews   atomic.Uint64
+	rejects  atomic.Uint64
+}
+
+type cplaneShard struct {
+	mu  sync.Mutex
+	adm admission.Admitter
+	// segBw caches each SegR's current grant (the admitter's GrantOf would
+	// need its internal lock; the cache is updated under sh.mu at the only
+	// write sites, AddSegR and RenewSegR).
+	segBw map[reservation.ID]uint64
+	// ledgers holds one EER demand profile per SegR.
+	ledgers map[reservation.ID]*restree.Ledger[reservation.ID]
+	eers    map[reservation.ID]cpEER
+}
+
+// cpEER is the shard-local record of one admitted EER version.
+type cpEER struct {
+	seg  reservation.ID
+	bw   uint64
+	expT uint32
+}
+
+// NewCPlane builds the engine. It panics when cfg.Clock is nil or
+// cfg.Shards is not a power of two, and surfaces admission-implementation
+// errors from admission.NewAdmitter.
+func NewCPlane(cfg CPlaneConfig) (*CPlane, error) {
+	if cfg.Clock == nil {
+		panic("cserv: CPlaneConfig.Clock is required")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards&(cfg.Shards-1) != 0 {
+		panic("cserv: CPlaneConfig.Shards must be a power of two")
+	}
+	if cfg.EpochSeconds == 0 {
+		cfg.EpochSeconds = 4
+	}
+	if cfg.LedgerEpochs == 0 {
+		cfg.LedgerEpochs = 128
+	}
+	c := &CPlane{
+		shards:       make([]*cplaneShard, cfg.Shards),
+		mask:         uint64(cfg.Shards - 1),
+		clock:        cfg.Clock,
+		epochSec:     cfg.EpochSeconds,
+		ledgerEpochs: cfg.LedgerEpochs,
+	}
+	as := shardedAS(cfg.AS, cfg.Shards)
+	for i := range c.shards {
+		adm, err := admission.NewAdmitter(cfg.AdmissionImpl, as, cfg.Split, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		c.shards[i] = &cplaneShard{
+			adm:     adm,
+			segBw:   make(map[reservation.ID]uint64),
+			ledgers: make(map[reservation.ID]*restree.Ledger[reservation.ID]),
+			eers:    make(map[reservation.ID]cpEER),
+		}
+	}
+	return c, nil
+}
+
+// shardedAS clones an AS with every link capacity (and the internal fabric
+// bound) divided by the shard count, so per-shard admission against the
+// clone keeps the sum over all shards within the physical capacities.
+func shardedAS(as *topology.AS, shards int) *topology.AS {
+	if shards <= 1 {
+		return as
+	}
+	k := uint64(shards)
+	out := &topology.AS{
+		IA:         as.IA,
+		Core:       as.Core,
+		Interfaces: make(map[topology.IfID]*topology.Interface, len(as.Interfaces)),
+	}
+	if as.InternalCapacityKbps > 0 {
+		out.InternalCapacityKbps = maxU64(1, as.InternalCapacityKbps/k)
+	}
+	for _, id := range as.SortedIfIDs() {
+		intf := *as.Interfaces[id]
+		link := *intf.Link
+		link.CapacityKbps = maxU64(1, link.CapacityKbps/k)
+		intf.Link = &link
+		out.Interfaces[id] = &intf
+	}
+	return out
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// shardFor maps a reservation ID to its shard with a splitmix64-style
+// finalizer, so consecutive Nums from one source spread across shards.
+//
+//colibri:nomalloc
+func (c *CPlane) shardFor(id reservation.ID) *cplaneShard {
+	x := uint64(id.SrcAS)*0x9e3779b97f4a7c15 + uint64(id.Num)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return c.shards[x&c.mask]
+}
+
+// AddSegR admits a segment reservation on its shard and provisions its EER
+// demand ledger. The request's MaxKbps is the demand; the returned grant is
+// the bandwidth available to EERs over this SegR at this AS.
+func (c *CPlane) AddSegR(req admission.Request) (uint64, error) {
+	sh := c.shardFor(req.ID)
+	sh.mu.Lock()
+	grant, err := sh.adm.AdmitSegR(req)
+	if err != nil {
+		sh.mu.Unlock()
+		c.rejects.Add(1)
+		return 0, err
+	}
+	sh.segBw[req.ID] = grant
+	sh.ledgers[req.ID] = restree.NewLedger[reservation.ID](c.ledgerEpochs, c.epochSec)
+	sh.mu.Unlock()
+	c.segCount.Add(1)
+	c.admits.Add(1)
+	return grant, nil
+}
+
+// RenewSegR re-admits a SegR with fresh scale factors. EER versions already
+// admitted keep their allocations (they remain valid until expiry, §4.2);
+// only future EER admissions see the new grant.
+func (c *CPlane) RenewSegR(req admission.Request) (uint64, error) {
+	sh := c.shardFor(req.ID)
+	sh.mu.Lock()
+	if _, ok := sh.segBw[req.ID]; !ok {
+		sh.mu.Unlock()
+		return 0, ErrUnknownSegR
+	}
+	grant, err := sh.adm.RenewSegR(req)
+	if err != nil {
+		sh.mu.Unlock()
+		c.rejects.Add(1)
+		return 0, err
+	}
+	sh.segBw[req.ID] = grant
+	sh.mu.Unlock()
+	c.renews.Add(1)
+	return grant, nil
+}
+
+// TeardownSegR releases a SegR. It fails with ErrSegRInUse while EERs are
+// still admitted against it (tear those down or let them expire first).
+func (c *CPlane) TeardownSegR(id reservation.ID) error {
+	sh := c.shardFor(id)
+	now := c.clock()
+	sh.mu.Lock()
+	led, ok := sh.ledgers[id]
+	if !ok {
+		sh.mu.Unlock()
+		return ErrUnknownSegR
+	}
+	led.Advance(now)
+	if led.Len() > 0 {
+		sh.mu.Unlock()
+		return ErrSegRInUse
+	}
+	sh.adm.Release(id)
+	delete(sh.segBw, id)
+	delete(sh.ledgers, id)
+	sh.mu.Unlock()
+	c.segCount.Add(-1)
+	return nil
+}
+
+// SetupEER admits an EER of bwKbps over the given SegR until expT.
+// Admission is full-or-nothing: the demand must fit under the SegR's grant
+// at every epoch of [now, expT), checked in O(log epochs) on the ledger.
+func (c *CPlane) SetupEER(eer, seg reservation.ID, bwKbps uint64, expT uint32) error {
+	sh := c.shardFor(seg)
+	now := c.clock()
+	sh.mu.Lock()
+	err := sh.setupEERLocked(eer, seg, bwKbps, now, expT)
+	sh.mu.Unlock()
+	if err != nil {
+		c.rejects.Add(1)
+		return err
+	}
+	c.eerCount.Add(1)
+	c.admits.Add(1)
+	return nil
+}
+
+//colibri:nomalloc
+func (sh *cplaneShard) setupEERLocked(eer, seg reservation.ID, bwKbps uint64, now, expT uint32) error {
+	led, ok := sh.ledgers[seg]
+	if !ok {
+		return ErrUnknownSegR
+	}
+	led.Advance(now)
+	if _, dup := sh.eers[eer]; dup {
+		return restree.ErrExists
+	}
+	free := sh.segBw[seg]
+	if m := led.MaxDemand(now, expT); uint64(m) >= free {
+		free = 0
+	} else {
+		free -= uint64(m)
+	}
+	if bwKbps > free {
+		return ErrInsufficient
+	}
+	if err := led.Reserve(eer, now, expT, int64(bwKbps)); err != nil {
+		return err
+	}
+	sh.eers[eer] = cpEER{seg: seg, bw: bwKbps, expT: expT}
+	return nil
+}
+
+// TeardownEER removes an EER (seg names its segment reservation, which
+// determines the shard). Unknown EERs are a no-op, mirroring Release.
+func (c *CPlane) TeardownEER(eer, seg reservation.ID) {
+	sh := c.shardFor(seg)
+	sh.mu.Lock()
+	e, ok := sh.eers[eer]
+	if ok && e.seg == seg {
+		if led := sh.ledgers[seg]; led != nil {
+			led.Teardown(eer)
+		}
+		delete(sh.eers, eer)
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.eerCount.Add(-1)
+	}
+}
+
+// EERRenewal is one entry of a renewal batch.
+type EERRenewal struct {
+	EER, Seg reservation.ID
+	BwKbps   uint64
+	ExpT     uint32
+}
+
+// RenewResult reports one renewal's outcome. Err is a sentinel
+// (ErrUnknownEER, ErrInsufficient, or a restree window error).
+type RenewResult struct {
+	Granted uint64
+	Err     error
+}
+
+// RenewEER renews a single EER; see RenewBatch for the semantics.
+func (c *CPlane) RenewEER(eer, seg reservation.ID, bwKbps uint64, expT uint32) (uint64, error) {
+	item := [1]EERRenewal{{EER: eer, Seg: seg, BwKbps: bwKbps, ExpT: expT}}
+	var res [1]RenewResult
+	c.RenewBatch(item[:], res[:])
+	return res[0].Granted, res[0].Err
+}
+
+// RenewBatch processes a renewal wave shard-major: for each shard the lock
+// is taken once and every renewal belonging to it is processed under that
+// single acquisition, the batched analogue of §4.2's per-request renewals.
+// results[i] receives the outcome of items[i]; the two slices must have
+// equal length. A renewal is granted min(requested, free) bandwidth over
+// [now, ExpT); a zero grant restores the previous version (the flow falls
+// back to it) and reports ErrInsufficient. The method is allocation-free in
+// steady state.
+//
+//colibri:nomalloc
+func (c *CPlane) RenewBatch(items []EERRenewal, results []RenewResult) {
+	if len(items) != len(results) {
+		batchLenMismatch()
+	}
+	now := c.clock()
+	var renews, rejects uint64
+	var expired int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for i := range items {
+			it := &items[i]
+			if c.shardFor(it.Seg) != sh {
+				continue
+			}
+			g, err, gone := sh.renewEERLocked(it, now)
+			results[i] = RenewResult{Granted: g, Err: err}
+			if err != nil {
+				rejects++
+			} else {
+				renews++
+			}
+			if gone {
+				expired++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.renews.Add(renews)
+	c.rejects.Add(rejects)
+	c.eerCount.Add(-expired)
+}
+
+// batchLenMismatch stays out of line so the panic value is not attributed
+// to RenewBatch's nomalloc-annotated range by escape analysis.
+//
+//go:noinline
+func batchLenMismatch() {
+	panic("cserv: RenewBatch items/results length mismatch")
+}
+
+// renewEERLocked is the per-item core of RenewBatch. gone reports that the
+// EER record was dropped (its old version had already expired and the
+// renewal was refused).
+//
+//colibri:nomalloc
+func (sh *cplaneShard) renewEERLocked(it *EERRenewal, now uint32) (grant uint64, err error, gone bool) {
+	e, ok := sh.eers[it.EER]
+	if !ok || e.seg != it.Seg {
+		return 0, ErrUnknownEER, false
+	}
+	led := sh.ledgers[it.Seg]
+	if led == nil {
+		return 0, ErrUnknownSegR, false
+	}
+	led.Advance(now)
+	// Remove the old version's contribution before probing: a renewal
+	// replaces the version, it does not stack on it. Teardown reports false
+	// when Advance already expired the entry.
+	led.Teardown(it.EER)
+	free := sh.segBw[it.Seg]
+	if m := led.MaxDemand(now, it.ExpT); uint64(m) >= free {
+		free = 0
+	} else {
+		free -= uint64(m)
+	}
+	grant = it.BwKbps
+	if grant > free {
+		grant = free
+	}
+	if grant == 0 {
+		// Refused. Restore the previous version if it is still live so the
+		// flow keeps its old allocation until expiry (§4.2 fallback).
+		if e.expT > now {
+			if rerr := led.Reserve(it.EER, now, e.expT, int64(e.bw)); rerr != nil {
+				delete(sh.eers, it.EER)
+				return 0, rerr, true
+			}
+			return 0, ErrInsufficient, false
+		}
+		delete(sh.eers, it.EER)
+		return 0, ErrInsufficient, true
+	}
+	if rerr := led.Reserve(it.EER, now, it.ExpT, int64(grant)); rerr != nil {
+		// Window invalid (e.g. ExpT beyond the ledger horizon): restore.
+		if e.expT > now {
+			if led.Reserve(it.EER, now, e.expT, int64(e.bw)) == nil {
+				return 0, rerr, false
+			}
+		}
+		delete(sh.eers, it.EER)
+		return 0, rerr, true
+	}
+	sh.eers[it.EER] = cpEER{seg: e.seg, bw: grant, expT: it.ExpT}
+	return grant, nil, false
+}
+
+// Tick expires EERs whose versions have lapsed and advances every ledger.
+// It returns the number of EERs removed. Iteration is over sorted IDs so
+// runs are deterministic (colibri-vet: determinism).
+func (c *CPlane) Tick() int {
+	now := c.clock()
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var ids []reservation.ID
+		for id := range sh.eers {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+		for _, id := range ids {
+			e := sh.eers[id]
+			if e.expT <= now {
+				if led := sh.ledgers[e.seg]; led != nil {
+					led.Teardown(id)
+				}
+				delete(sh.eers, id)
+				total++
+			}
+		}
+		var segs []reservation.ID
+		for id := range sh.ledgers {
+			segs = append(segs, id)
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Less(segs[j]) })
+		for _, id := range segs {
+			sh.ledgers[id].Advance(now)
+		}
+		sh.mu.Unlock()
+	}
+	c.eerCount.Add(-int64(total))
+	return total
+}
+
+// CPlaneCounts is a lock-free snapshot of the engine's aggregate state.
+type CPlaneCounts struct {
+	SegRs, EERs             int64
+	Admits, Renews, Rejects uint64
+}
+
+// Counts reads the aggregate counters without taking any shard lock.
+//
+//colibri:nomalloc
+func (c *CPlane) Counts() CPlaneCounts {
+	return CPlaneCounts{
+		SegRs:   c.segCount.Load(),
+		EERs:    c.eerCount.Load(),
+		Admits:  c.admits.Load(),
+		Renews:  c.renews.Load(),
+		Rejects: c.rejects.Load(),
+	}
+}
+
+// Shards returns the shard count (for sizing batches and reports).
+func (c *CPlane) Shards() int { return len(c.shards) }

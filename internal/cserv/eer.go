@@ -286,6 +286,12 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 				demand = up.Active.BwKbps
 			}
 			s.transfer.Release(core.ID, up.ID, demand, grant)
+			s.metrics.AdmReject.Add(1)
+			if req.Renewal {
+				// The EER's previous versions stay valid: the flow falls
+				// back to them instead of being torn down.
+				s.metrics.AdmFallback.Add(1)
+			}
 			return fail("transfer split: only %d of %d kbps available on core SegR %s",
 				grant, asked, core.ID)
 		}
@@ -303,6 +309,10 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 	v := reservation.Version{Ver: req.Ver, BwKbps: grant, ExpT: req.ExpT}
 	if !dup {
 		if err := s.store.AdmitEERVersion(eer, localSegIDs, v, now); err != nil {
+			s.metrics.AdmReject.Add(1)
+			if req.Renewal {
+				s.metrics.AdmFallback.Add(1)
+			}
 			return fail("admission: %v", err)
 		}
 	}

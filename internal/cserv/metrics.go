@@ -35,6 +35,14 @@ type Metrics struct {
 	RenewZeroBw *telemetry.Counter
 	Demotions   *telemetry.Counter
 	Promotions  *telemetry.Counter
+	// Admission-outcome counters: the per-request OK/Fail counters above
+	// count protocol outcomes, which hides *why* requests fail. AdmReject
+	// counts requests the admission algorithm itself refused (SegR or EER,
+	// setup or renewal); AdmFallback counts failed renewals where the
+	// previous reservation snapshot was restored and the flow continues on
+	// its old version instead of being torn down.
+	AdmReject   *telemetry.Counter
+	AdmFallback *telemetry.Counter
 
 	reg   *telemetry.Registry
 	trace *telemetry.Tracer
@@ -63,6 +71,8 @@ func (m *Metrics) init(label string, reg *telemetry.Registry) {
 	m.RenewZeroBw = reg.Counter("cserv.renew_zero_bw")
 	m.Demotions = reg.Counter("cserv.demotions")
 	m.Promotions = reg.Counter("cserv.promotions")
+	m.AdmReject = reg.Counter("admission.reject")
+	m.AdmFallback = reg.Counter("admission.fallback")
 	m.trace = reg.Tracer("cserv.lifecycle", 0)
 }
 
@@ -86,6 +96,7 @@ type MetricsSnapshot struct {
 	RenewThrottle             uint64
 	DedupHits, RenewZeroBw    uint64
 	Demotions, Promotions     uint64
+	AdmReject, AdmFallback    uint64
 }
 
 // Snapshot copies the counters.
@@ -107,16 +118,19 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RenewZeroBw:   m.RenewZeroBw.Value(),
 		Demotions:     m.Demotions.Value(),
 		Promotions:    m.Promotions.Value(),
+		AdmReject:     m.AdmReject.Value(),
+		AdmFallback:   m.AdmFallback.Value(),
 	}
 }
 
 func (s MetricsSnapshot) String() string {
 	return fmt.Sprintf(
-		"seg setup %d/%d renew %d/%d activate %d | ee setup %d/%d renew %d/%d | auth-fail %d rate-limited %d renew-throttled %d | dedup %d zero-bw %d demote %d promote %d",
+		"seg setup %d/%d renew %d/%d activate %d | ee setup %d/%d renew %d/%d | auth-fail %d rate-limited %d renew-throttled %d | dedup %d zero-bw %d demote %d promote %d | adm reject %d fallback %d",
 		s.SegSetupOK, s.SegSetupFail, s.SegRenewOK, s.SegRenewFail, s.SegActivate,
 		s.EESetupOK, s.EESetupFail, s.EERenewOK, s.EERenewFail,
 		s.AuthFailures, s.RateLimited, s.RenewThrottle,
-		s.DedupHits, s.RenewZeroBw, s.Demotions, s.Promotions)
+		s.DedupHits, s.RenewZeroBw, s.Demotions, s.Promotions,
+		s.AdmReject, s.AdmFallback)
 }
 
 // renewLimiter enforces §4.2's per-EER renewal rate limit ("CServs can

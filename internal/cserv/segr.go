@@ -164,6 +164,10 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 		Eg:      hop.Eg,
 		MinKbps: req.MinKbps,
 		MaxKbps: req.MaxKbps,
+		// The validity window lets time-aware implementations (restree)
+		// expire the reservation on their own; the memoized default ignores
+		// it and relies on Tick's explicit release.
+		ExpT: req.ExpT,
 	}
 
 	// Idempotent retry detection: a lost response leaves every hop
@@ -196,6 +200,12 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 		grant, err = s.adm.AdmitSegR(admReq)
 	}
 	if err != nil {
+		s.metrics.AdmReject.Add(1)
+		if req.Renewal {
+			// RenewSegRWithUndo restored the pre-renewal snapshot: the flow
+			// falls back to its still-active old version.
+			s.metrics.AdmFallback.Add(1)
+		}
 		return fail("admission: %v", err)
 	}
 	rollback := func() {

@@ -100,6 +100,12 @@ type Config struct {
 	// RateLimit is the per-source-AS control-request budget per second
 	// (default 1000; §5.3 "per-AS rate limiting").
 	RateLimit int
+	// AdmissionImpl selects the SegR admission implementation:
+	// admission.ImplMemoized (default), admission.ImplNaive, or
+	// admission.ImplRestree. All three are validated differentially
+	// (FuzzAdmissionEquivalence); restree additionally time-bounds
+	// reservations and expires them without an explicit release.
+	AdmissionImpl string
 	// Telemetry is the AS-wide registry the service's metrics and lifecycle
 	// tracer attach to; a private registry is created when nil.
 	Telemetry *telemetry.Registry
@@ -113,7 +119,7 @@ type Service struct {
 	split admission.TrafficSplit
 
 	store    *reservation.Store
-	adm      *admission.State
+	adm      admission.Admitter
 	transfer *admission.TransferSplit
 
 	secret  cryptoutil.Key
@@ -148,13 +154,17 @@ func New(cfg Config) *Service {
 	if cfg.Split == (admission.TrafficSplit{}) {
 		cfg.Split = admission.DefaultSplit
 	}
+	adm, err := admission.NewAdmitter(cfg.AdmissionImpl, cfg.AS, cfg.Split, cfg.Clock)
+	if err != nil {
+		panic(err)
+	}
 	s := &Service{
 		ia:         cfg.AS.IA,
 		as:         cfg.AS,
 		topo:       cfg.Topo,
 		split:      cfg.Split,
 		store:      reservation.NewStore(cfg.AS.IA),
-		adm:        admission.NewState(cfg.AS, cfg.Split),
+		adm:        adm,
 		transfer:   admission.NewTransferSplit(),
 		secret:     cfg.Secret,
 		engine:     cfg.Engine,
@@ -180,7 +190,7 @@ func (s *Service) IA() topology.IA { return s.ia }
 func (s *Service) Store() *reservation.Store { return s.store }
 
 // Admission exposes the admission state (for metrics and tests).
-func (s *Service) Admission() *admission.State { return s.adm }
+func (s *Service) Admission() admission.Admitter { return s.adm }
 
 // Secret returns the AS data-plane secret shared with the border routers.
 func (s *Service) Secret() cryptoutil.Key { return s.secret }

@@ -11,7 +11,6 @@ package reservation
 
 import (
 	"fmt"
-	"sort"
 
 	"colibri/internal/cryptoutil"
 	"colibri/internal/packet"
@@ -139,16 +138,28 @@ func (e *EER) LatestVersion(now uint32) *Version {
 // AddVersion inserts a new version keeping ascending order and the
 // MaxEERVersions bound (oldest evicted first). Duplicate version numbers are
 // rejected.
+//
+// The slice is kept ordered on insert — a backward scan plus shift, like the
+// ID.Less ordering discipline of the store — rather than re-sorted per call:
+// under renewal churn every EER gets a new version each lifetime, and the
+// common case (monotonically increasing Ver) is a single append with zero
+// element moves.
 func (e *EER) AddVersion(v Version) error {
-	for _, old := range e.Versions {
-		if old.Ver == v.Ver {
-			return fmt.Errorf("reservation: EER %s already has version %d", e.ID, v.Ver)
-		}
+	// Find the insertion point from the back; renewals almost always carry
+	// the highest Ver yet, so this loop usually exits immediately.
+	i := len(e.Versions)
+	for i > 0 && e.Versions[i-1].Ver > v.Ver {
+		i--
 	}
-	e.Versions = append(e.Versions, v)
-	sort.Slice(e.Versions, func(i, j int) bool { return e.Versions[i].Ver < e.Versions[j].Ver })
+	if i > 0 && e.Versions[i-1].Ver == v.Ver {
+		return fmt.Errorf("reservation: EER %s already has version %d", e.ID, v.Ver)
+	}
+	e.Versions = append(e.Versions, Version{})
+	copy(e.Versions[i+1:], e.Versions[i:])
+	e.Versions[i] = v
 	if len(e.Versions) > MaxEERVersions {
-		e.Versions = e.Versions[len(e.Versions)-MaxEERVersions:]
+		copy(e.Versions, e.Versions[len(e.Versions)-MaxEERVersions:])
+		e.Versions = e.Versions[:MaxEERVersions]
 	}
 	return nil
 }

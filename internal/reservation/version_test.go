@@ -1,0 +1,89 @@
+package reservation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAddVersionOrderedInsert is the regression test for the ordered-insert
+// AddVersion: versions arriving in any order must end up ascending by Ver
+// without a per-call re-sort, duplicates must be rejected, and the
+// MaxEERVersions bound must evict the oldest versions first.
+func TestAddVersionOrderedInsert(t *testing.T) {
+	t.Run("out-of-order arrivals", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 200; trial++ {
+			e := &EER{}
+			perm := rng.Perm(MaxEERVersions)
+			for _, p := range perm {
+				v := Version{Ver: uint16(p + 1), BwKbps: uint64(100 * (p + 1)), ExpT: 1000}
+				if err := e.AddVersion(v); err != nil {
+					t.Fatalf("trial %d: AddVersion(%d): %v", trial, v.Ver, err)
+				}
+			}
+			for i := 1; i < len(e.Versions); i++ {
+				if e.Versions[i-1].Ver >= e.Versions[i].Ver {
+					t.Fatalf("trial %d perm %v: versions not ascending: %v", trial, perm, e.Versions)
+				}
+			}
+			if len(e.Versions) != MaxEERVersions {
+				t.Fatalf("trial %d: len = %d, want %d", trial, len(e.Versions), MaxEERVersions)
+			}
+		}
+	})
+
+	t.Run("duplicate rejected", func(t *testing.T) {
+		e := &EER{}
+		if err := e.AddVersion(Version{Ver: 3, BwKbps: 100}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddVersion(Version{Ver: 3, BwKbps: 200}); err == nil {
+			t.Fatal("duplicate Ver accepted")
+		}
+		if len(e.Versions) != 1 || e.Versions[0].BwKbps != 100 {
+			t.Fatalf("duplicate mutated versions: %v", e.Versions)
+		}
+	})
+
+	t.Run("oldest evicted", func(t *testing.T) {
+		e := &EER{}
+		for v := uint16(1); v <= MaxEERVersions+2; v++ {
+			if err := e.AddVersion(Version{Ver: v, BwKbps: uint64(v)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(e.Versions) != MaxEERVersions {
+			t.Fatalf("len = %d, want %d", len(e.Versions), MaxEERVersions)
+		}
+		if e.Versions[0].Ver != 3 || e.Versions[len(e.Versions)-1].Ver != MaxEERVersions+2 {
+			t.Fatalf("eviction kept wrong window: %v", e.Versions)
+		}
+	})
+
+	t.Run("out-of-order insert below full window", func(t *testing.T) {
+		e := &EER{}
+		for _, v := range []uint16{10, 30, 40, 20} {
+			if err := e.AddVersion(Version{Ver: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := []uint16{10, 20, 30, 40}
+		for i, w := range want {
+			if e.Versions[i].Ver != w {
+				t.Fatalf("versions = %v, want Vers %v", e.Versions, want)
+			}
+		}
+	})
+}
+
+// BenchmarkAddVersionChurn measures the renewal-churn shape the ordered
+// insert optimizes: monotonically increasing versions at the window bound.
+func BenchmarkAddVersionChurn(b *testing.B) {
+	e := &EER{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.AddVersion(Version{Ver: uint16(i), BwKbps: 100, ExpT: uint32(i + 16)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package restree
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkTreeAddMax(b *testing.B) {
+	for _, epochs := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("epochs=%d", epochs), func(b *testing.B) {
+			tr := NewTree(epochs)
+			b.ReportAllocs()
+			e := Epoch(0)
+			span := Epoch(epochs - 8)
+			for i := 0; i < b.N; i++ {
+				tr.Add(e, e+span, 100)
+				_ = tr.Max(e, e+span)
+				tr.Add(e, e+span, -100)
+				e++
+			}
+		})
+	}
+}
+
+func BenchmarkLedgerChurn(b *testing.B) {
+	for _, keys := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			l := NewLedger[int](64, 1)
+			now := uint32(100)
+			for k := 0; k < keys; k++ {
+				if err := l.Reserve(k, now, now+16, int64(k%1000+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % keys
+				if k == 0 {
+					now += 8
+					l.Advance(now)
+				}
+				if err := l.Renew(k, now, now+16, int64(k%1000+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
