@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os/exec"
+	"runtime"
 	"testing"
 
 	"colibri/internal/admission"
+	"colibri/internal/cryptoutil"
 	"colibri/internal/cserv"
 	"colibri/internal/experiments"
 	"colibri/internal/gateway"
@@ -298,6 +300,133 @@ func BenchmarkFig6BorderRouterBatch(b *testing.B) {
 				}
 			}
 			reportMpps(b, int64(b.N)*int64(batch))
+		})
+	}
+}
+
+// reportMppsPerWorker adds the per-worker-normalized rate: aggregate Mpps
+// divided by the number of workers that can actually run concurrently
+// (min(workers, GOMAXPROCS) — on a 1-CPU host every sweep point serializes
+// onto one core, so the normalized series measures fan-out overhead there,
+// not scaling).
+func reportMppsPerWorker(b *testing.B, pkts int64, workers int) {
+	eff := workers
+	if p := runtime.GOMAXPROCS(0); eff > p {
+		eff = p
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(pkts)/s/1e6/float64(eff), "Mpps/worker")
+	}
+}
+
+// BenchmarkFig6Parallel: the RSS-sharded data plane — border-router
+// validation (router.Sharded.ProcessBatch) and gateway construction
+// (gateway.Sharded.BuildBatch) fanned over per-core shards, workers ∈
+// {1,2,4,8}. Shards is fixed at 8 so flow placement — and therefore every
+// per-flow decision — is identical across the sweep; only the degree of
+// parallelism varies. Mpps is the aggregate rate; Mpps/worker is the
+// normalized series whose flatness is the scaling claim (meaningful only
+// where GOMAXPROCS ≥ workers). Caches are warmed before timing and the
+// timed loop must be allocation-free.
+func BenchmarkFig6Parallel(b *testing.B) {
+	const r, hops, shards, batch = 1 << 10, 4, 8, 256
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("router/workers=%d", workers), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(16))
+			gw, _, secrets := workload.GatewayPopulationWithSecrets(r, hops, rng)
+			w := gw.NewWorker()
+			pkts := make([][]byte, 4096)
+			for i := range pkts {
+				buf := make([]byte, 512)
+				sz, err := w.Build(uint32(1+i%r), nil, buf, workload.EpochNs+int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				pkt := buf[:sz]
+				packet.SetCurrHopInPlace(pkt, hops-1)
+				pkts[i] = pkt
+			}
+			sh := router.NewSharded(router.ShardedConfig{
+				Router: router.Config{
+					IA:                topology.MustIA(1, hops),
+					Secret:            secrets[hops-1],
+					SigmaCacheEntries: 4 * r,
+				},
+				Shards:  shards,
+				Workers: workers,
+			})
+			defer sh.Close()
+			verdicts := make([]router.BatchVerdict, batch)
+			// Warm every shard's σ-cache past the promotion threshold and
+			// grow the scatter/gather scratch outside the timed loop.
+			for s := 0; s < 20; s++ {
+				for i := 0; i+batch <= len(pkts); i += batch {
+					sh.ProcessBatch(pkts[i:i+batch], verdicts, workload.EpochNs)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i * batch) % (len(pkts) - batch + 1)
+				if n := sh.ProcessBatch(pkts[off:off+batch], verdicts, workload.EpochNs); n != batch {
+					b.Fatalf("passed %d/%d: %v", n, batch, verdicts[0].Err)
+				}
+			}
+			total := int64(b.N) * int64(batch)
+			reportMpps(b, total)
+			reportMppsPerWorker(b, total, workers)
+		})
+		b.Run(fmt.Sprintf("gateway/workers=%d", workers), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(17))
+			sg := gateway.NewSharded(topology.MustIA(1, 11),
+				gateway.Options{SchedCacheEntries: 4 * r * hops / shards}, shards, workers)
+			defer sg.Close()
+			path := make([]packet.HopField, hops)
+			for i := range path {
+				path[i] = packet.HopField{In: topology.IfID(2 * i), Eg: topology.IfID(2*i + 1)}
+			}
+			auths := make([]cryptoutil.Key, hops)
+			for i := range auths {
+				rng.Read(auths[i][:])
+			}
+			for id := 1; id <= r; id++ {
+				res := packet.ResInfo{
+					SrcAS:  topology.MustIA(1, 11),
+					ResID:  uint32(id),
+					BwKbps: 1 << 30,
+					ExpT:   workload.Epoch + reservation.EERLifetimeSeconds,
+					Ver:    1,
+				}
+				if err := sg.Install(res, packet.EERInfo{SrcHost: 1, DstHost: 2}, path, auths); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ids := workload.RandomResIDs(1<<16, r, rng)
+			reqs := make([]gateway.BuildReq, batch)
+			outs := make([]gateway.BuildRes, batch)
+			for i := range reqs {
+				reqs[i].Out = make([]byte, 2048)
+			}
+			fill := func(base int) {
+				for j := range reqs {
+					reqs[j].ResID = ids[(base+j)%len(ids)]
+				}
+			}
+			for base := 0; base < len(ids); base += batch {
+				fill(base)
+				sg.BuildBatch(reqs, outs, workload.EpochNs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fill(i * batch)
+				if n := sg.BuildBatch(reqs, outs, workload.EpochNs+int64(i)); n != batch {
+					b.Fatalf("built %d/%d: %v", n, batch, outs[0].Err)
+				}
+			}
+			total := int64(b.N) * int64(batch)
+			reportMpps(b, total)
+			reportMppsPerWorker(b, total, workers)
 		})
 	}
 }

@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|all]
+//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [-workers N,...] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|all]
 //
 // With -quick, reduced parameter grids keep the total runtime under a
 // minute; the default grids match the paper's sweeps (fig5/fig6 with
 // r = 2^20 build million-entry gateways and take several minutes).
+//
+// fig6 additionally sweeps the RSS-sharded multi-core pipeline
+// (router.Sharded / gateway.Sharded, 8 flow shards) over the worker counts
+// from -workers (default 1,2,4,8), reporting aggregate and per-worker-
+// normalized Mpps.
 //
 // The scale experiment sweeps the netsim engines over generated 100- and
 // 1000-AS topologies: a sequential baseline, then the safe-window parallel
@@ -52,11 +57,17 @@ func main() {
 	dur := flag.Duration("duration", 300*time.Millisecond, "measurement time per data-plane point")
 	telFmt := flag.String("telemetry", "", "dump internal instruments at exit: text or json")
 	parallel := flag.String("parallel", "1,2,4,8", "comma-separated worker counts for the scale experiment")
+	shardedWorkers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for fig6's sharded-pipeline sweep")
 	flag.Parse()
 
 	workers, err := parseWorkers(*parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -parallel %q: %v\n", *parallel, err)
+		os.Exit(2)
+	}
+	fig6Workers, err := parseWorkers(*shardedWorkers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -workers %q: %v\n", *shardedWorkers, err)
 		os.Exit(2)
 	}
 
@@ -111,6 +122,12 @@ func main() {
 			workers, rs = []int{1, 4, 16}, []int{1 << 15}
 		}
 		fmt.Print(experiments.FormatFig6(experiments.RunFig6(workers, rs, *dur)))
+		fmt.Println()
+		sw := fig6Workers
+		if *quick {
+			sw = []int{1, 4}
+		}
+		fmt.Print(experiments.FormatFig6Sharded(experiments.RunFig6Sharded(sw, *dur)))
 	})
 	run("table2", func() {
 		fmt.Print(experiments.FormatTable2(experiments.RunTable2()))

@@ -1,0 +1,100 @@
+// Package sharded is the multi-core data-plane fixture: the RSS
+// scatter/gather front end and the cross-shard merge reintroduce the
+// sharding work's seeded bug classes — a per-batch heap allocation on the
+// annotated partition path and a merge that leaks its lock — next to the
+// conforming shapes (reused scratch, snapshot-then-export) and the
+// documented amortized-growth suppression.
+package sharded
+
+import (
+	"sync"
+
+	"fixture/telemetry"
+)
+
+// Shard is one core-local pipeline's scatter/gather scratch.
+type Shard struct {
+	pkts     [][]byte
+	idx      []int32
+	verdicts []int
+}
+
+// Plane is the sharded front end plus its merge-side state.
+type Plane struct {
+	mu     sync.Mutex
+	shards []*Shard
+	merged map[uint64]uint32
+}
+
+// Partition allocates fresh per-shard slices on every batch: finding.
+//
+//colibri:nomalloc
+func (p *Plane) Partition(pkts [][]byte) {
+	for _, sh := range p.shards {
+		sh.pkts = make([][]byte, 0, len(pkts))
+	}
+	for i, b := range pkts {
+		sh := p.shards[i%len(p.shards)]
+		sh.pkts = append(sh.pkts, b)
+		sh.idx = append(sh.idx, int32(i))
+	}
+}
+
+// PartitionReused resets and reuses each shard's scratch: clean.
+//
+//colibri:nomalloc
+func (p *Plane) PartitionReused(pkts [][]byte) {
+	for _, sh := range p.shards {
+		sh.pkts = sh.pkts[:0]
+		sh.idx = sh.idx[:0]
+	}
+	for i, b := range pkts {
+		sh := p.shards[i%len(p.shards)]
+		sh.pkts = append(sh.pkts, b)
+		sh.idx = append(sh.idx, int32(i))
+	}
+}
+
+// GrowVerdicts documents the permitted amortized growth of a shard's
+// verdict scratch: suppressed.
+//
+//colibri:nomalloc
+func (sh *Shard) GrowVerdicts(n int) {
+	if cap(sh.verdicts) < n {
+		sh.verdicts = make([]int, n) //colibri:allow(nomalloc) — fixture: amortized scratch growth
+	}
+	sh.verdicts = sh.verdicts[:n]
+}
+
+// MergeLeakOnEmpty returns with p.mu held when there is nothing to merge:
+// finding.
+func (p *Plane) MergeLeakOnEmpty(entries map[uint64]uint32) int {
+	p.mu.Lock()
+	if len(entries) == 0 {
+		return 0
+	}
+	for k, v := range entries {
+		p.merged[k] = v
+	}
+	p.mu.Unlock()
+	return len(p.merged)
+}
+
+// MergeExportUnderLock renders telemetry inside the merge's critical
+// section: finding.
+func (p *Plane) MergeExportUnderLock(reg *telemetry.Registry) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return telemetry.WriteText(reg)
+}
+
+// MergeSnapshotOutside merges under the lock and exports after releasing
+// it: clean.
+func (p *Plane) MergeSnapshotOutside(entries map[uint64]uint32, reg *telemetry.Registry) map[string]int64 {
+	p.mu.Lock()
+	for k, v := range entries {
+		p.merged[k] = v
+	}
+	p.mu.Unlock()
+	return reg.Snapshot()
+}

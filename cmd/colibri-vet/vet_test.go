@@ -46,6 +46,8 @@ func TestFixtures(t *testing.T) {
 		{"telemetry", "telemetry", "./tel/...", 1},
 		{"errors", "errors", "./internal/...", 1},
 		{"nomalloc_router", "nomalloc", "./router/...", 1},
+		{"nomalloc_sharded", "nomalloc", "./sharded/...", 1},
+		{"locks_sharded", "locks", "./sharded/...", 1},
 		// A package with none of the requested check's subjects is clean.
 		{"clean", "locks", "./cserv/...", 0},
 	}

@@ -1,6 +1,9 @@
 package cryptoutil
 
-import "crypto/cipher"
+import (
+	"crypto/cipher"
+	"sync/atomic"
+)
 
 // σ-schedule caching for the data-plane hot path.
 //
@@ -32,10 +35,13 @@ import "crypto/cipher"
 // A SchedCache is not safe for concurrent use: each worker owns one
 // (mirroring the per-lcore schedule tables of DPDK crypto drivers).
 type SchedCache struct {
-	mask   uint64 // set index mask (sets = (len(ents)/2), power of two)
-	ents   []schedEntry
-	hits   uint64
-	misses uint64
+	mask uint64 // set index mask (sets = (len(ents)/2), power of two)
+	ents []schedEntry
+	// hits/misses are written only by the owning worker but may be read by
+	// a sharded front end's Merge from another goroutine, so they are
+	// atomic (single-writer: a plain Add, no contention).
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // promoteAfter is the number of hits after which an entry's σ is expanded
@@ -68,7 +74,7 @@ func NewSchedCache(entries int) *SchedCache {
 func (c *SchedCache) Len() int { return len(c.ents) }
 
 // Stats returns the hit and miss counts since construction.
-func (c *SchedCache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+func (c *SchedCache) Stats() (hits, misses uint64) { return c.hits.Load(), c.misses.Load() }
 
 // mix64 is the splitmix64 finalizer; it spreads dense tags (reservation
 // IDs are sequential) across the sets.
@@ -109,17 +115,17 @@ func (c *SchedCache) Schedule(tag uint64, epoch uint32, sigma *Key) cipher.Block
 		if !e0.ref {
 			e0.ref = true
 		}
-		c.hits++
+		c.hits.Add(1)
 		return e0.block(sigma)
 	}
 	if e1.valid && e1.tag == tag && e1.epoch == epoch {
 		if !e1.ref {
 			e1.ref = true
 		}
-		c.hits++
+		c.hits.Add(1)
 		return e1.block(sigma)
 	}
-	c.misses++
+	c.misses.Add(1)
 	// Victim: an empty way, else an unreferenced way. When both ways hold
 	// recently-hit entries, bypass instead of evicting (second chance for
 	// the residents, software fallback for the newcomer).

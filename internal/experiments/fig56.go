@@ -9,8 +9,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colibri/internal/cryptoutil"
 	"colibri/internal/gateway"
 	"colibri/internal/packet"
+	"colibri/internal/reservation"
+	"colibri/internal/router"
+	"colibri/internal/topology"
 	"colibri/internal/workload"
 )
 
@@ -210,6 +214,166 @@ func parallelRate(nw int, d time.Duration, mkWorker func() func()) float64 {
 	wg.Wait()
 	elapsed := float64(nowNs()-start) / 1e9
 	return float64(total.Load()) / elapsed / 1e6
+}
+
+// Fig6ShardedRow is one data point of the RSS-sharded data-plane sweep: the
+// batched multi-core pipeline (router.Sharded / gateway.Sharded) at a given
+// worker count. PerWorker is Mpps normalized by min(workers, GOMAXPROCS) —
+// the effective concurrency — so a flat PerWorker series is the scaling
+// claim on a multi-core host, while on a single-CPU host it measures
+// fan-out overhead only.
+type Fig6ShardedRow struct {
+	Component string // "gateway" or "border-router"
+	Workers   int
+	Mpps      float64
+	PerWorker float64
+}
+
+// Fig6ShardedWorkers is the default worker sweep of the sharded pipeline
+// (overridable from colibri-bench with -workers).
+var Fig6ShardedWorkers = []int{1, 2, 4, 8}
+
+// RunFig6Sharded measures the RSS-sharded batched pipelines — border-router
+// validation via router.Sharded.ProcessBatch and gateway construction via
+// gateway.Sharded.BuildBatch — across worker counts. Shards is fixed at 8
+// so flow placement (and every per-flow decision) is identical at every
+// sweep point; only the degree of parallelism varies.
+func RunFig6Sharded(workers []int, perPoint time.Duration) []Fig6ShardedRow {
+	if len(workers) == 0 {
+		workers = Fig6ShardedWorkers
+	}
+	if perPoint == 0 {
+		perPoint = 300 * time.Millisecond
+	}
+	const r, hops, shards, batch = 1 << 10, 4, 8, 256
+	rng := rand.New(rand.NewSource(6))
+	var rows []Fig6ShardedRow
+
+	normalize := func(mpps float64, nw int) float64 {
+		eff := nw
+		if p := runtime.GOMAXPROCS(0); eff > p {
+			eff = p
+		}
+		return mpps / float64(eff)
+	}
+
+	// Border router: one shared last-hop packet set (validation does not
+	// mutate the buffer), a fresh sharded router per worker count.
+	gw, _, secrets := workload.GatewayPopulationWithSecrets(r, hops, rng)
+	pkts := buildLastHopPackets(gw, r, hops, 4096)
+	for _, nw := range workers {
+		sh := router.NewSharded(router.ShardedConfig{
+			Router: router.Config{
+				IA:                topology.MustIA(1, hops),
+				Secret:            secrets[hops-1],
+				SigmaCacheEntries: 4 * r,
+				Telemetry:         telemetryReg,
+			},
+			Shards:  shards,
+			Workers: nw,
+		})
+		verdicts := make([]router.BatchVerdict, batch)
+		runtime.GC()
+		for s := 0; s < 20; s++ { // σ-cache warm-up past the promotion threshold
+			for i := 0; i+batch <= len(pkts); i += batch {
+				sh.ProcessBatch(pkts[i:i+batch], verdicts, workload.EpochNs)
+			}
+		}
+		ops := 0
+		start := nowNs()
+		for nowNs()-start < perPoint.Nanoseconds() {
+			off := ops % (len(pkts) - batch + 1)
+			if n := sh.ProcessBatch(pkts[off:off+batch], verdicts, workload.EpochNs); n != batch {
+				panic(verdicts[0].Err)
+			}
+			ops += batch
+		}
+		elapsed := float64(nowNs()-start) / 1e9
+		mpps := float64(ops) / elapsed / 1e6
+		rows = append(rows, Fig6ShardedRow{Component: "border-router", Workers: nw, Mpps: mpps, PerWorker: normalize(mpps, nw)})
+		sh.Merge() // fold per-shard σ-cache stats into router.cache.{hits,misses}
+		sh.Close()
+	}
+
+	// Gateway: fresh sharded gateway per worker count, 4-hop paths.
+	for _, nw := range workers {
+		sg := gateway.NewSharded(topology.MustIA(1, 11),
+			gateway.Options{SchedCacheEntries: 4 * r * hops / shards}, shards, nw)
+		if telemetryReg != nil {
+			sg.EnableTelemetry(telemetryReg)
+		}
+		installShardedPopulation(sg, r, hops, rng)
+		ids := workload.RandomResIDs(1<<16, r, rng)
+		reqs := make([]gateway.BuildReq, batch)
+		outs := make([]gateway.BuildRes, batch)
+		for i := range reqs {
+			reqs[i].Out = make([]byte, 2048)
+		}
+		fill := func(base int) {
+			for j := range reqs {
+				reqs[j].ResID = ids[(base+j)%len(ids)]
+			}
+		}
+		runtime.GC()
+		for base := 0; base < len(ids); base += batch { // σ-cache warm-up
+			fill(base)
+			sg.BuildBatch(reqs, outs, workload.EpochNs)
+		}
+		ops := 0
+		now := workload.EpochNs
+		start := nowNs()
+		for nowNs()-start < perPoint.Nanoseconds() {
+			now++
+			fill(ops)
+			if n := sg.BuildBatch(reqs, outs, now); n != batch {
+				panic(outs[0].Err)
+			}
+			ops += batch
+		}
+		elapsed := float64(nowNs()-start) / 1e9
+		mpps := float64(ops) / elapsed / 1e6
+		rows = append(rows, Fig6ShardedRow{Component: "gateway", Workers: nw, Mpps: mpps, PerWorker: normalize(mpps, nw)})
+		sg.Merge() // fold per-shard σ-cache stats into gateway.cache.{hits,misses}
+		sg.Close()
+	}
+	return rows
+}
+
+// installShardedPopulation fills a sharded gateway with r reservations over
+// hops-long paths (arbitrary hop authenticators: construction-only fixtures
+// never verify downstream).
+func installShardedPopulation(sg *gateway.Sharded, r, hops int, rng *rand.Rand) {
+	path := make([]packet.HopField, hops)
+	for i := range path {
+		path[i] = packet.HopField{In: topology.IfID(2 * i), Eg: topology.IfID(2*i + 1)}
+	}
+	auths := make([]cryptoutil.Key, hops)
+	for i := range auths {
+		_, _ = rng.Read(auths[i][:])
+	}
+	for id := 1; id <= r; id++ {
+		res := packet.ResInfo{
+			SrcAS:  topology.MustIA(1, 11),
+			ResID:  uint32(id),
+			BwKbps: 1 << 30,
+			ExpT:   workload.Epoch + reservation.EERLifetimeSeconds,
+			Ver:    1,
+		}
+		if err := sg.Install(res, packet.EERInfo{SrcHost: 1, DstHost: 2}, path, auths); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// FormatFig6Sharded renders the sharded-pipeline rows.
+func FormatFig6Sharded(rows []Fig6ShardedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 (sharded) — RSS multi-core pipeline [Mpps] vs. workers, 8 shards\n")
+	fmt.Fprintf(&b, "%-16s %-9s %-10s %-12s\n", "component", "workers", "Mpps", "Mpps/worker")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-9d %-10.3f %-12.3f\n", r.Component, r.Workers, r.Mpps, r.PerWorker)
+	}
+	return b.String()
 }
 
 // FormatFig6 renders the rows.

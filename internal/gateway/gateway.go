@@ -135,8 +135,11 @@ func (g *Gateway) EnableTelemetry(reg *telemetry.Registry) {
 		resident:   reg.Gauge("gateway.reservations"),
 		trace:      reg.Tracer("gateway.lifecycle", 0),
 	}
+	// The resident gauge is maintained with deltas (not Set), so the shard
+	// gateways of a sharded front end can share one registry and the gauge
+	// sums to the true total. Enable telemetry at most once per gateway.
 	g.mu.RLock()
-	t.resident.Set(int64(len(g.byID)))
+	t.resident.Add(int64(len(g.byID)))
 	g.mu.RUnlock()
 	g.mon.SetGauge(reg.Gauge("monitor.flows"))
 	g.tel.Store(t)
@@ -174,7 +177,9 @@ func (g *Gateway) Install(res packet.ResInfo, eer packet.EERInfo, path []packet.
 	}
 	g.mu.Lock()
 	promoted := false
+	fresh := true
 	if old, ok := g.byID[res.ResID]; ok {
+		fresh = false
 		if old.MonitorKbps > e.MonitorKbps {
 			// All versions share one monitored budget: the maximum (§4.8).
 			e.MonitorKbps = old.MonitorKbps
@@ -184,10 +189,11 @@ func (g *Gateway) Install(res packet.ResInfo, eer packet.EERInfo, path []packet.
 		promoted = old.demoted.Load()
 	}
 	g.byID[res.ResID] = e
-	n := len(g.byID)
 	g.mu.Unlock()
 	if t := g.tel.Load(); t != nil {
-		t.resident.Set(int64(n))
+		if fresh {
+			t.resident.Inc()
+		}
 		if promoted {
 			t.promotions.Add(1)
 			t.trace.Record(int64(res.ExpT)*1e9, telemetry.EvPromote,
@@ -247,12 +253,12 @@ func (g *Gateway) Demoted(resID uint32) bool {
 // Remove drops an EER's state (expiry).
 func (g *Gateway) Remove(resID uint32) {
 	g.mu.Lock()
+	_, present := g.byID[resID]
 	delete(g.byID, resID)
-	n := len(g.byID)
 	g.mu.Unlock()
 	g.mon.Forget(reservation.ID{SrcAS: g.srcAS, Num: resID})
-	if t := g.tel.Load(); t != nil {
-		t.resident.Set(int64(n))
+	if t := g.tel.Load(); t != nil && present {
+		t.resident.Dec()
 	}
 }
 
@@ -267,14 +273,13 @@ func (g *Gateway) Expire(nowSec uint32) int {
 			dropped = append(dropped, id)
 		}
 	}
-	n := len(g.byID)
 	g.mu.Unlock()
 	for _, id := range dropped {
 		g.mon.Forget(reservation.ID{SrcAS: g.srcAS, Num: id})
 	}
 	if t := g.tel.Load(); t != nil && len(dropped) > 0 {
 		t.expired.Add(uint64(len(dropped)))
-		t.resident.Set(int64(n))
+		t.resident.Add(-int64(len(dropped)))
 		nowNs := int64(nowSec) * 1e9
 		for _, id := range dropped {
 			t.trace.Record(nowNs, telemetry.EvEEExpire,

@@ -25,6 +25,17 @@ type TokenBucket struct {
 	tokens float64
 	// lastNs is the time of the last refill.
 	lastNs int64
+	// rateKbps is the nominal reservation rate, kept for cheap change
+	// detection (EER renewals) without re-deriving bytes/ns.
+	rateKbps uint64
+
+	// reserve, when non-nil, puts the bucket in shard mode: it never refills
+	// itself (tokens act as a local claim cache) and draws from the flow's
+	// shared full-rate Reserve on exhaustion, over-claiming up to chunk
+	// extra bytes per trip. See reserve.go for why the rate is NOT split /N.
+	reserve *Reserve
+	// chunk is the over-claim granularity in bytes (0 = exact claims).
+	chunk float64
 }
 
 // DefaultBurstSeconds sizes a flow's burst allowance relative to its rate:
@@ -35,7 +46,13 @@ const DefaultBurstSeconds = 0.1
 // bytes). The bucket starts full.
 func NewTokenBucket(rateKbps uint64, burstBytes float64, nowNs int64) *TokenBucket {
 	rate := float64(rateKbps) * 1000 / 8 / 1e9 // kbps → bytes per ns
-	return &TokenBucket{rate: rate, burst: burstBytes, tokens: burstBytes, lastNs: nowNs}
+	return &TokenBucket{rate: rate, burst: burstBytes, tokens: burstBytes, lastNs: nowNs, rateKbps: rateKbps}
+}
+
+// newShardBucket builds a shard-mode bucket: an empty local cache in front of
+// the flow's shared reserve.
+func newShardBucket(r *Reserve, rateKbps uint64, chunkBytes float64) *TokenBucket {
+	return &TokenBucket{reserve: r, chunk: chunkBytes, rateKbps: rateKbps}
 }
 
 // BurstBytesFor returns the default burst size for a rate.
@@ -56,6 +73,17 @@ func BurstBytesFor(rateKbps uint64) float64 {
 // lastNs backwards — a backwards lastNs would let the next in-order packet
 // double-refill the interval.
 func (tb *TokenBucket) Allow(nowNs int64, sizeBytes uint32) bool {
+	if tb.reserve != nil {
+		need := float64(sizeBytes)
+		if tb.tokens < need {
+			tb.tokens += tb.reserve.Claim(need-tb.tokens, tb.chunk, nowNs)
+		}
+		if tb.tokens < need {
+			return false
+		}
+		tb.tokens -= need
+		return true
+	}
 	if nowNs > tb.lastNs {
 		tb.tokens += float64(nowNs-tb.lastNs) * tb.rate
 		if tb.tokens > tb.burst {
@@ -74,6 +102,11 @@ func (tb *TokenBucket) Allow(nowNs int64, sizeBytes uint32) bool {
 // SetRate updates the enforced rate (e.g., after an EER renewal changed the
 // reservation bandwidth) and resizes the burst proportionally.
 func (tb *TokenBucket) SetRate(rateKbps uint64) {
+	tb.rateKbps = rateKbps
+	if tb.reserve != nil {
+		tb.reserve.SetRate(rateKbps)
+		return
+	}
 	tb.rate = float64(rateKbps) * 1000 / 8 / 1e9
 	tb.burst = BurstBytesFor(rateKbps)
 	if tb.tokens > tb.burst {
@@ -87,8 +120,16 @@ func (tb *TokenBucket) SetRate(rateKbps uint64) {
 type FlowMonitor struct {
 	mu    sync.Mutex
 	flows map[reservation.ID]*TokenBucket
-	// gauge, when set, mirrors len(flows); updated under mu.
+	// gauge, when set, tracks len(flows); updated under mu. Maintained with
+	// deltas (not Set) so that several shard monitors sharing one gauge sum
+	// to the true flow count across the sharded data plane.
 	gauge *telemetry.Gauge
+	// pool, when non-nil, puts the monitor in shard mode: buckets are
+	// created as local claim caches over the pool's shared full-rate
+	// reserves (see reserve.go).
+	pool *ReservePool
+	// chunk is the shard-mode over-claim granularity in bytes.
+	chunk float64
 }
 
 // NewFlowMonitor builds an empty monitor.
@@ -96,13 +137,36 @@ func NewFlowMonitor() *FlowMonitor {
 	return &FlowMonitor{flows: make(map[reservation.ID]*TokenBucket)}
 }
 
-// SetGauge attaches an occupancy gauge mirroring the number of tracked
-// flows; it is set immediately and then maintained by Allow/Ensure/Forget.
+// NewShardFlowMonitor builds the per-shard flow monitor of a sharded data
+// plane: buckets hold no tokens of their own and claim from the flow's
+// shared reserve in pool (which enforces the full reserved rate), in chunks
+// of chunkBytes beyond the immediate deficit (0 = exact claims, byte-for-
+// byte equivalent to a single full-rate bucket; larger chunks amortize the
+// shared-word traffic at the cost of slightly earlier token commitment).
+func NewShardFlowMonitor(pool *ReservePool, chunkBytes float64) *FlowMonitor {
+	return &FlowMonitor{
+		flows: make(map[reservation.ID]*TokenBucket),
+		pool:  pool,
+		chunk: chunkBytes,
+	}
+}
+
+// newBucket creates the right bucket flavor for this monitor.
+func (m *FlowMonitor) newBucket(id reservation.ID, rateKbps uint64, nowNs int64) *TokenBucket {
+	if m.pool != nil {
+		return newShardBucket(m.pool.Get(id, rateKbps, nowNs), rateKbps, m.chunk)
+	}
+	return NewTokenBucket(rateKbps, BurstBytesFor(rateKbps), nowNs)
+}
+
+// SetGauge attaches an occupancy gauge tracking the number of flows this
+// monitor contributes; the current count is added immediately and then
+// maintained by Allow/Ensure/Forget. Attach each monitor at most once.
 func (m *FlowMonitor) SetGauge(g *telemetry.Gauge) {
 	m.mu.Lock()
 	m.gauge = g
 	if g != nil {
-		g.Set(int64(len(m.flows)))
+		g.Add(int64(len(m.flows)))
 	}
 	m.mu.Unlock()
 }
@@ -113,12 +177,12 @@ func (m *FlowMonitor) Allow(id reservation.ID, rateKbps uint64, sizeBytes uint32
 	m.mu.Lock()
 	tb, ok := m.flows[id]
 	if !ok {
-		tb = NewTokenBucket(rateKbps, BurstBytesFor(rateKbps), nowNs)
+		tb = m.newBucket(id, rateKbps, nowNs)
 		m.flows[id] = tb
 		if m.gauge != nil {
-			m.gauge.Set(int64(len(m.flows)))
+			m.gauge.Inc()
 		}
-	} else if wantRate := float64(rateKbps) * 1000 / 8 / 1e9; tb.rate != wantRate {
+	} else if tb.rateKbps != rateKbps {
 		tb.SetRate(rateKbps)
 	}
 	ok = tb.Allow(nowNs, sizeBytes)
@@ -147,12 +211,12 @@ func (m *FlowMonitor) AllowBatch(ids []reservation.ID, rates []uint64, sizes []u
 		}
 		tb, ok := m.flows[ids[i]]
 		if !ok {
-			tb = NewTokenBucket(rates[i], BurstBytesFor(rates[i]), nowNs) //colibri:allow(nomalloc) — first packet of a flow only; Ensure pre-creates at install
+			tb = m.newBucket(ids[i], rates[i], nowNs) //colibri:allow(nomalloc) — first packet of a flow only; Ensure pre-creates at install
 			m.flows[ids[i]] = tb
 			if m.gauge != nil {
-				m.gauge.Set(int64(len(m.flows)))
+				m.gauge.Inc()
 			}
-		} else if wantRate := float64(rates[i]) * 1000 / 8 / 1e9; tb.rate != wantRate {
+		} else if tb.rateKbps != rates[i] {
 			tb.SetRate(rates[i])
 		}
 		allowed[i] = tb.Allow(nowNs, sizes[i])
@@ -167,20 +231,24 @@ func (m *FlowMonitor) Ensure(id reservation.ID, rateKbps uint64, nowNs int64) {
 	if tb, ok := m.flows[id]; ok {
 		tb.SetRate(rateKbps)
 	} else {
-		m.flows[id] = NewTokenBucket(rateKbps, BurstBytesFor(rateKbps), nowNs)
+		m.flows[id] = m.newBucket(id, rateKbps, nowNs)
 		if m.gauge != nil {
-			m.gauge.Set(int64(len(m.flows)))
+			m.gauge.Inc()
 		}
 	}
 	m.mu.Unlock()
 }
 
-// Forget drops the bucket of an expired reservation.
+// Forget drops the bucket of an expired reservation. In shard mode the
+// shared reserve is NOT dropped here (other shards may still hold it); the
+// sharded wrapper forgets it from the pool after all shards have let go.
 func (m *FlowMonitor) Forget(id reservation.ID) {
 	m.mu.Lock()
-	delete(m.flows, id)
-	if m.gauge != nil {
-		m.gauge.Set(int64(len(m.flows)))
+	if _, ok := m.flows[id]; ok {
+		delete(m.flows, id)
+		if m.gauge != nil {
+			m.gauge.Dec()
+		}
 	}
 	m.mu.Unlock()
 }
@@ -240,4 +308,51 @@ func (b *Blocklist) Len() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return len(b.blocked)
+}
+
+// Each calls fn for every entry under the read lock, in map order (callers
+// needing determinism must not depend on iteration order — merging is
+// commutative). fn must not call back into the blocklist.
+func (b *Blocklist) Each(fn func(ia topology.IA, expiry uint32)) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for ia, exp := range b.blocked {
+		fn(ia, exp)
+	}
+}
+
+// MergeFrom unions src's entries into b, keeping the stricter punishment on
+// conflict (permanent beats timed; later expiry beats earlier). It snapshots
+// src before locking b, so concurrent MergeFrom calls in opposite directions
+// cannot deadlock.
+func (b *Blocklist) MergeFrom(src *Blocklist) {
+	if src == nil || src == b {
+		return
+	}
+	type entry struct {
+		ia  topology.IA
+		exp uint32
+	}
+	var snap []entry
+	src.mu.RLock()
+	for ia, exp := range src.blocked {
+		snap = append(snap, entry{ia, exp})
+	}
+	src.mu.RUnlock()
+	if len(snap) == 0 {
+		return
+	}
+	b.mu.Lock()
+	for _, e := range snap {
+		cur, ok := b.blocked[e.ia]
+		switch {
+		case !ok:
+			b.blocked[e.ia] = e.exp
+		case cur == 0 || e.exp == 0:
+			b.blocked[e.ia] = 0
+		case e.exp > cur:
+			b.blocked[e.ia] = e.exp
+		}
+	}
+	b.mu.Unlock()
 }

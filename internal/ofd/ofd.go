@@ -49,6 +49,23 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Split scales the config for one of n data-plane shards: each shard sees
+// only its pinned flows, so per-row width shrinks to Width/n (floor 64 to
+// keep collision noise bounded on tiny shards) while depth, window, and
+// tolerance — which are per-flow properties — stay unchanged. This mirrors
+// the capacity/K clone trick of the sharded control plane: n shard sketches
+// together hold the memory of one full-size sketch.
+func (c Config) Split(n int) Config {
+	c.setDefaults()
+	if n > 1 {
+		c.Width /= n
+		if c.Width < 64 {
+			c.Width = 64
+		}
+	}
+	return c
+}
+
 // Detector is one AS's overuse-flow detector. Safe for concurrent use.
 type Detector struct {
 	mu        sync.Mutex

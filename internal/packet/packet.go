@@ -264,3 +264,20 @@ func SetCurrHopInPlace(buf []byte, hop uint8) {
 
 // CurrHopOf reads the current-hop byte of a serialized buffer.
 func CurrHopOf(buf []byte) uint8 { return buf[3] }
+
+// PeekFlowKey extracts the RSS flow key — ResID ‖ SrcHost — straight from a
+// serialized buffer's fixed offsets, without decoding. This is what a
+// sharded front end hashes to pick a shard: all packets of one (reservation,
+// source host) pair land on the same shard, which pins the per-flow state
+// (replay window, OFD budget, token bucket) and preserves per-flow order.
+// ok is false if the buffer is shorter than the fixed header; such runts are
+// sent to shard 0, whose decoder rejects them properly.
+//
+//colibri:nomalloc
+func PeekFlowKey(buf []byte) (key uint64, ok bool) {
+	if len(buf) < fixedLen {
+		return 0, false
+	}
+	return uint64(binary.BigEndian.Uint32(buf[16:20]))<<32 |
+		uint64(binary.BigEndian.Uint32(buf[32:36])), true
+}

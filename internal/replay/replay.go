@@ -43,6 +43,22 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Split scales the config for one of n data-plane shards: RSS pins each
+// flow (and hence each packet identifier) to exactly one shard, so a shard's
+// filter expects only ExpectedPackets/n insertions per window (floor 1<<10).
+// The FP rate is a per-packet property and stays unchanged; n shard filters
+// together use the memory of one full-size filter.
+func (c Config) Split(n int) Config {
+	c.setDefaults()
+	if n > 1 {
+		c.ExpectedPackets /= n
+		if c.ExpectedPackets < 1<<10 {
+			c.ExpectedPackets = 1 << 10
+		}
+	}
+	return c
+}
+
 // Suppressor detects duplicate packet identifiers within the freshness
 // window. Safe for concurrent use.
 type Suppressor struct {

@@ -116,6 +116,12 @@ type Config struct {
 	// reservations are policed by the token bucket. Default false:
 	// confirmed overuse blocks the source AS.
 	PoliceOnly bool
+	// DetMonitor, when non-nil, replaces the router's private deterministic
+	// flow monitor. The sharded data plane injects a shard monitor backed by
+	// a shared ReservePool here, so escalated flows of one reservation are
+	// policed to the exact aggregate rate across shards (see monitor's
+	// reserve.go).
+	DetMonitor *monitor.FlowMonitor
 	// SigmaCacheEntries, when > 0, gives every worker a private σ-cache of
 	// that many entries (rounded up to a power of two): the σ derivation
 	// (3-block CBC-MAC) and its AES key schedule are computed once per
@@ -179,6 +185,9 @@ func New(cfg Config) *Router {
 	if cfg.Blocklist == nil {
 		cfg.Blocklist = monitor.NewBlocklist()
 	}
+	if cfg.DetMonitor == nil {
+		cfg.DetMonitor = monitor.NewFlowMonitor()
+	}
 	r := &Router{
 		ia:          cfg.IA,
 		secret:      cfg.Secret,
@@ -190,7 +199,7 @@ func New(cfg Config) *Router {
 		policeOnly:  cfg.PoliceOnly,
 		sigmaCache:  cfg.SigmaCacheEntries,
 		watch:       make(map[reservation.ID]struct{}),
-		detMon:      monitor.NewFlowMonitor(),
+		detMon:      cfg.DetMonitor,
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		// One series per DropReason: the suffix set is the closed dropSlug
@@ -236,6 +245,17 @@ func dropSlug(reason DropReason) string {
 
 // Blocklist returns the router's blocklist (shared with policy decisions).
 func (r *Router) Blocklist() *monitor.Blocklist { return r.blocklist }
+
+// Suspicious drains and returns the flows the probabilistic detector has
+// flagged since the last call (nil when no detector is configured). Flagged
+// flows are already on this router's watchlist; a sharded front end uses the
+// drain to escalate them on sibling shards too.
+func (r *Router) Suspicious() []reservation.ID {
+	if r.det == nil {
+		return nil
+	}
+	return r.det.Suspicious()
+}
 
 // Watch places a reservation under deterministic monitoring, as happens
 // when the probabilistic detector flags it (or when an operator seeds the

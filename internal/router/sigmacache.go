@@ -3,6 +3,7 @@ package router
 import (
 	"crypto/cipher"
 	"encoding/binary"
+	"sync/atomic"
 
 	"colibri/internal/cryptoutil"
 	"colibri/internal/packet"
@@ -33,10 +34,13 @@ import (
 // invalidation: a new version changes the MAC input (Ver/ExpT/bandwidth),
 // so it simply occupies a different entry.
 type sigmaCache struct {
-	mask   uint64
-	ents   []sigmaEntry
-	hits   uint64
-	misses uint64
+	mask uint64
+	ents []sigmaEntry
+	// hits/misses are written only by the owning worker but read by a
+	// sharded front end's Merge from another goroutine, so they are atomic
+	// (single-writer: a plain Add, no contention).
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // promoteAfter mirrors cryptoutil.SchedCache: hits before an entry's σ is
@@ -92,17 +96,17 @@ func (c *sigmaCache) block(in *[packet.EERAuthLen]byte, cbc *cryptoutil.CBCMAC) 
 		if !e0.ref {
 			e0.ref = true
 		}
-		c.hits++
+		c.hits.Add(1)
 		return e0.block()
 	}
 	if e1.valid && e1.in == *in {
 		if !e1.ref {
 			e1.ref = true
 		}
-		c.hits++
+		c.hits.Add(1)
 		return e1.block()
 	}
-	c.misses++
+	c.misses.Add(1)
 	var v *sigmaEntry
 	switch {
 	case !e0.valid:
@@ -139,4 +143,4 @@ func (e *sigmaEntry) block() cipher.Block {
 	return e.blk
 }
 
-func (c *sigmaCache) stats() (hits, misses uint64) { return c.hits, c.misses }
+func (c *sigmaCache) stats() (hits, misses uint64) { return c.hits.Load(), c.misses.Load() }

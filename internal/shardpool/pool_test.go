@@ -1,0 +1,78 @@
+package shardpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestInlineModeRunsInOrder(t *testing.T) {
+	var got []int
+	p := New(1, func(shard int) { got = append(got, shard) })
+	defer p.Close()
+	p.Dispatch(4)
+	p.Dispatch(2)
+	want := []int{0, 1, 2, 3, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ran %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDispatchRunsEveryShardExactlyOnce(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		const n = 64
+		var counts [n]atomic.Int32
+		p := New(workers, func(shard int) { counts[shard].Add(1) })
+		const batches = 10
+		for b := 0; b < batches; b++ {
+			p.Dispatch(n)
+		}
+		p.Close()
+		for i := range counts {
+			if c := counts[i].Load(); c != batches {
+				t.Fatalf("workers=%d: shard %d ran %d times, want %d", workers, i, c, batches)
+			}
+		}
+	}
+}
+
+func TestDispatchZeroAndPartial(t *testing.T) {
+	var ran atomic.Int32
+	p := New(4, func(int) { ran.Add(1) })
+	defer p.Close()
+	p.Dispatch(0)
+	if ran.Load() != 0 {
+		t.Fatalf("Dispatch(0) ran %d shards", ran.Load())
+	}
+	p.Dispatch(2) // fewer shards than workers
+	if ran.Load() != 2 {
+		t.Fatalf("Dispatch(2) ran %d shards, want 2", ran.Load())
+	}
+}
+
+func TestPanicReraisedOnDispatcher(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers, func(shard int) {
+			if shard == 3 {
+				panic("shard 3 blew up")
+			}
+		})
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: Dispatch did not re-raise the shard panic", workers)
+				}
+			}()
+			p.Dispatch(8)
+		}()
+		// The pool must stay usable after a captured panic.
+		if workers > 1 {
+			p.Dispatch(2)
+		}
+		p.Close()
+	}
+}
