@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [-workers N,...] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|all]
+//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [-workers N,...] [-flows N] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|storm|all]
+//
+// storm drives the §4.2 renewal storm through the live CPlane-backed
+// request path: -flows EERs (default 10⁶) all renewing in one 4 s window
+// across a CServ crash and recovery, swept over the -workers counts.
 //
 // With -quick, reduced parameter grids keep the total runtime under a
 // minute; the default grids match the paper's sweeps (fig5/fig6 with
@@ -57,7 +61,8 @@ func main() {
 	dur := flag.Duration("duration", 300*time.Millisecond, "measurement time per data-plane point")
 	telFmt := flag.String("telemetry", "", "dump internal instruments at exit: text or json")
 	parallel := flag.String("parallel", "1,2,4,8", "comma-separated worker counts for the scale experiment")
-	shardedWorkers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for fig6's sharded-pipeline sweep")
+	shardedWorkers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for fig6's sharded-pipeline and storm sweeps")
+	stormFlows := flag.Int("flows", 1_000_000, "EER population for the storm experiment")
 	flag.Parse()
 
 	workers, err := parseWorkers(*parallel)
@@ -169,6 +174,19 @@ func main() {
 		}
 		fmt.Print(experiments.FormatCPlane(rows))
 	})
+	run("storm", func() {
+		cfg := experiments.StormConfig{Flows: *stormFlows, Workers: fig6Workers}
+		if *quick {
+			cfg.Flows = 10_000
+			cfg.Workers = []int{1, 4}
+		}
+		r, err := experiments.RunStorm(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "storm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatStorm(r))
+	})
 	run("scale", func() {
 		sizes := []int{100, 1000}
 		if *quick {
@@ -190,7 +208,7 @@ func main() {
 	})
 	if !ran {
 		fmt.Fprintf(os.Stderr,
-			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|all)\n", what)
+			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|storm|all)\n", what)
 		os.Exit(2)
 	}
 	if reg != nil {

@@ -95,6 +95,20 @@ func (t *TransferSplit) Release(coreSegR, upSegR reservation.ID, demandKbps, gra
 	}
 }
 
+// Charge re-adds previously released demand/grant — the inverse of Release,
+// for rollbacks that reinstate a version whose charge was already returned.
+func (t *TransferSplit) Charge(coreSegR, upSegR reservation.ID, demandKbps, grantKbps uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.demand[coreSegR] == nil {
+		t.demand[coreSegR] = make(map[reservation.ID]uint64)
+		t.granted[coreSegR] = make(map[reservation.ID]uint64)
+	}
+	t.demand[coreSegR][upSegR] += demandKbps
+	t.total[coreSegR] += demandKbps
+	t.granted[coreSegR][upSegR] += grantKbps
+}
+
 // DropCore removes all state for an expired core SegR.
 func (t *TransferSplit) DropCore(coreSegR reservation.ID) {
 	t.mu.Lock()

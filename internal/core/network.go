@@ -93,6 +93,13 @@ type Options struct {
 	// Telemetry creates one telemetry.Registry per AS and wires CServ,
 	// router, gateway, and flow monitor into it.
 	Telemetry bool
+	// CPlaneShards, when > 0 (power of two), backs every AS's CServ with a
+	// sharded CPlane admission engine instead of the single-store path.
+	CPlaneShards int
+	// CPlaneWorkers fans batched renewal waves across this many goroutines
+	// per AS (0 or 1 = inline). With more than one worker, call Close when
+	// done with the network.
+	CPlaneWorkers int
 }
 
 // Network is a fully wired multi-AS Colibri deployment.
@@ -166,6 +173,9 @@ func NewNetwork(topo *topology.Topology, opts Options) (*Network, error) {
 			Policy:    opts.Policy[ia],
 			RateLimit: opts.RateLimit,
 			Telemetry: node.Telemetry,
+
+			CPlaneShards:  opts.CPlaneShards,
+			CPlaneWorkers: opts.CPlaneWorkers,
 		})
 		rcfg := router.Config{IA: ia, Secret: asSecret, Telemetry: node.Telemetry}
 		if opts.EnableReplaySuppression {
@@ -242,6 +252,14 @@ func (n *Network) Tick() {
 		node := n.nodes[ia]
 		node.CServ.Tick()
 		node.Gateway.Expire(now)
+	}
+}
+
+// Close releases per-node resources (CPlane worker pools). Only needed when
+// the network was built with Options.CPlaneWorkers > 1.
+func (n *Network) Close() {
+	for _, ia := range n.Topo.SortedIAs() {
+		n.nodes[ia].CServ.Close()
 	}
 }
 

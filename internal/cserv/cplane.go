@@ -30,6 +30,7 @@ import (
 	"colibri/internal/admission"
 	"colibri/internal/reservation"
 	"colibri/internal/restree"
+	"colibri/internal/shardpool"
 	"colibri/internal/topology"
 )
 
@@ -42,6 +43,10 @@ var (
 	// the SegR's free bandwidth over the requested window (setups are
 	// full-or-nothing; renewals fall back to the previous version).
 	ErrInsufficient = errors.New("cplane: insufficient bandwidth on segment reservation")
+	// ErrTransferEER marks an EER charged against two SegRs (a transfer-AS
+	// record, §4.7): its renewal must go through RenewEERPath, which locks
+	// both owning shards, not through the single-shard batch path.
+	ErrTransferEER = errors.New("cplane: transfer-AS EER requires path renewal")
 )
 
 // CPlaneConfig configures a sharded control-plane engine.
@@ -61,6 +66,11 @@ type CPlaneConfig struct {
 	LedgerEpochs int
 	// Clock supplies control-plane time in Unix seconds. Required.
 	Clock func() uint32
+	// Workers sets how many goroutines RenewBatch fans shard buckets across
+	// (shards are lock-disjoint, so a worker per shard is safe). 0 or 1 runs
+	// inline on the caller's goroutine with no pool goroutines; call Close
+	// when done with a multi-worker engine.
+	Workers int
 }
 
 // CPlane is the sharded engine. Methods are safe for concurrent use; calls
@@ -77,7 +87,39 @@ type CPlane struct {
 	eerCount atomic.Int64
 	admits   atomic.Uint64
 	renews   atomic.Uint64
-	rejects  atomic.Uint64
+	// rejects counts real refusals (ErrInsufficient and kin); dedups counts
+	// idempotent duplicates (restree.ErrExists on a retried setup); stale
+	// counts renewals of EERs that no longer exist (ErrUnknownEER). The
+	// split lets chaos experiments tell retry dedup from capacity refusal.
+	rejects atomic.Uint64
+	dedups  atomic.Uint64
+	stale   atomic.Uint64
+
+	// onExpire, when set, receives each transfer-AS record (one with two
+	// covering SegRs) that Tick expires, after the shard lock is released.
+	// The Service uses it to return the record's charge to the §4.7
+	// transfer-split accounting, which otherwise never learns that an EER
+	// lapsed without being renewed.
+	onExpire func(seg, seg2 reservation.ID, bwKbps uint64)
+
+	// Batch fan-out state. batchMu serializes RenewBatch callers (the pool
+	// handles one dispatch at a time); buckets/cur*/batchStats are owned by
+	// the dispatching goroutine between Dispatch barriers, with each worker
+	// touching only its shard's bucket, stats slot, and result indices.
+	pool       *shardpool.Pool
+	batchMu    sync.Mutex
+	buckets    [][]int32
+	curItems   []EERRenewal
+	curResults []RenewResult
+	curNow     uint32
+	batchStats []cpBatchStats
+}
+
+// cpBatchStats collects one shard bucket's outcome tallies during a
+// RenewBatch dispatch, merged into the atomics after the barrier.
+type cpBatchStats struct {
+	renews, rejects, stale uint64
+	expired                int64
 }
 
 type cplaneShard struct {
@@ -92,11 +134,17 @@ type cplaneShard struct {
 	eers    map[reservation.ID]cpEER
 }
 
-// cpEER is the shard-local record of one admitted EER version.
+// cpEER is the shard-local record of one admitted EER version. seg2 is the
+// second charged SegR at a transfer AS (§4.7: an EER entering on an up
+// segment and leaving on a core segment consumes bandwidth on both); it is
+// the zero ID everywhere else. ver is the protocol version of the admitted
+// record, used by the live request path for idempotent dedup of retries.
 type cpEER struct {
 	seg  reservation.ID
+	seg2 reservation.ID
 	bw   uint64
 	expT uint32
+	ver  uint16
 }
 
 // NewCPlane builds the engine. It panics when cfg.Clock is nil or
@@ -124,10 +172,11 @@ func NewCPlane(cfg CPlaneConfig) (*CPlane, error) {
 		clock:        cfg.Clock,
 		epochSec:     cfg.EpochSeconds,
 		ledgerEpochs: cfg.LedgerEpochs,
+		buckets:      make([][]int32, cfg.Shards),
+		batchStats:   make([]cpBatchStats, cfg.Shards),
 	}
-	as := shardedAS(cfg.AS, cfg.Shards)
 	for i := range c.shards {
-		adm, err := admission.NewAdmitter(cfg.AdmissionImpl, as, cfg.Split, cfg.Clock)
+		adm, err := admission.NewAdmitter(cfg.AdmissionImpl, shardedAS(cfg.AS, cfg.Shards, i), cfg.Split, cfg.Clock)
 		if err != nil {
 			return nil, err
 		}
@@ -138,54 +187,77 @@ func NewCPlane(cfg CPlaneConfig) (*CPlane, error) {
 			eers:    make(map[reservation.ID]cpEER),
 		}
 	}
+	c.pool = shardpool.New(cfg.Workers, c.runBatchShard)
 	return c, nil
 }
 
-// shardedAS clones an AS with every link capacity (and the internal fabric
-// bound) divided by the shard count, so per-shard admission against the
-// clone keeps the sum over all shards within the physical capacities.
-func shardedAS(as *topology.AS, shards int) *topology.AS {
+// OnExpire registers the expiry callback invoked by Tick for each expired
+// transfer-AS record (see the field doc). Set it before the first Tick;
+// it must not call back into the CPlane.
+func (c *CPlane) OnExpire(fn func(seg, seg2 reservation.ID, bwKbps uint64)) {
+	c.onExpire = fn
+}
+
+// Close releases the batch worker goroutines of a multi-worker engine; it is
+// a no-op for the default inline configuration. No call may be in flight.
+func (c *CPlane) Close() { c.pool.Close() }
+
+// Workers returns the RenewBatch fan-out width.
+func (c *CPlane) Workers() int { return c.pool.Workers() }
+
+// shardedAS clones an AS for shard i of `shards`, dividing every link
+// capacity (and the internal fabric bound) so the per-shard shares sum
+// EXACTLY to the physical value: shard i receives cap/shards plus one of the
+// cap%shards remainder units. Low-capacity links may legitimately get 0 on
+// some shards — rounding every shard up to 1 would let K shards of a
+// (K-1)-Kbps link admit more than the link carries.
+func shardedAS(as *topology.AS, shards, i int) *topology.AS {
 	if shards <= 1 {
 		return as
 	}
-	k := uint64(shards)
 	out := &topology.AS{
 		IA:         as.IA,
 		Core:       as.Core,
 		Interfaces: make(map[topology.IfID]*topology.Interface, len(as.Interfaces)),
 	}
-	if as.InternalCapacityKbps > 0 {
-		out.InternalCapacityKbps = maxU64(1, as.InternalCapacityKbps/k)
-	}
+	out.InternalCapacityKbps = shardShare(as.InternalCapacityKbps, shards, i)
 	for _, id := range as.SortedIfIDs() {
 		intf := *as.Interfaces[id]
 		link := *intf.Link
-		link.CapacityKbps = maxU64(1, link.CapacityKbps/k)
+		link.CapacityKbps = shardShare(link.CapacityKbps, shards, i)
 		intf.Link = &link
 		out.Interfaces[id] = &intf
 	}
 	return out
 }
 
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
+// shardShare splits cap across `shards` with the remainder spread over the
+// lowest-indexed shards, so the shares sum exactly to cap.
+func shardShare(cap uint64, shards, i int) uint64 {
+	share := cap / uint64(shards)
+	if uint64(i) < cap%uint64(shards) {
+		share++
 	}
-	return b
+	return share
 }
 
-// shardFor maps a reservation ID to its shard with a splitmix64-style
-// finalizer, so consecutive Nums from one source spread across shards.
+// shardIndex maps a reservation ID to its shard index with a splitmix64-
+// style finalizer, so consecutive Nums from one source spread across shards.
 //
 //colibri:nomalloc
-func (c *CPlane) shardFor(id reservation.ID) *cplaneShard {
+func (c *CPlane) shardIndex(id reservation.ID) int {
 	x := uint64(id.SrcAS)*0x9e3779b97f4a7c15 + uint64(id.Num)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return c.shards[x&c.mask]
+	return int(x & c.mask)
+}
+
+//colibri:nomalloc
+func (c *CPlane) shardFor(id reservation.ID) *cplaneShard {
+	return c.shards[c.shardIndex(id)]
 }
 
 // AddSegR admits a segment reservation on its shard and provisions its EER
@@ -194,6 +266,7 @@ func (c *CPlane) shardFor(id reservation.ID) *cplaneShard {
 func (c *CPlane) AddSegR(req admission.Request) (uint64, error) {
 	sh := c.shardFor(req.ID)
 	sh.mu.Lock()
+	_, known := sh.ledgers[req.ID]
 	grant, err := sh.adm.AdmitSegR(req)
 	if err != nil {
 		sh.mu.Unlock()
@@ -201,9 +274,15 @@ func (c *CPlane) AddSegR(req admission.Request) (uint64, error) {
 		return 0, err
 	}
 	sh.segBw[req.ID] = grant
-	sh.ledgers[req.ID] = restree.NewLedger[reservation.ID](c.ledgerEpochs, c.epochSec)
+	if !known {
+		// Re-admitting a known ID (an idempotent replay or a version bump)
+		// must not wipe the ledger of EERs already charged against it.
+		sh.ledgers[req.ID] = restree.NewLedger[reservation.ID](c.ledgerEpochs, c.epochSec)
+	}
 	sh.mu.Unlock()
-	c.segCount.Add(1)
+	if !known {
+		c.segCount.Add(1)
+	}
 	c.admits.Add(1)
 	return grant, nil
 }
@@ -261,10 +340,17 @@ func (c *CPlane) SetupEER(eer, seg reservation.ID, bwKbps uint64, expT uint32) e
 	sh := c.shardFor(seg)
 	now := c.clock()
 	sh.mu.Lock()
-	err := sh.setupEERLocked(eer, seg, bwKbps, now, expT)
+	err := sh.setupEERLocked(eer, seg, bwKbps, now, expT, 0)
 	sh.mu.Unlock()
 	if err != nil {
-		c.rejects.Add(1)
+		// A duplicate setup is an idempotent retry hitting committed state,
+		// not a refusal — count it separately so dedup stays tellable from
+		// capacity rejection.
+		if err == restree.ErrExists {
+			c.dedups.Add(1)
+		} else {
+			c.rejects.Add(1)
+		}
 		return err
 	}
 	c.eerCount.Add(1)
@@ -273,7 +359,7 @@ func (c *CPlane) SetupEER(eer, seg reservation.ID, bwKbps uint64, expT uint32) e
 }
 
 //colibri:nomalloc
-func (sh *cplaneShard) setupEERLocked(eer, seg reservation.ID, bwKbps uint64, now, expT uint32) error {
+func (sh *cplaneShard) setupEERLocked(eer, seg reservation.ID, bwKbps uint64, now, expT uint32, ver uint16) error {
 	led, ok := sh.ledgers[seg]
 	if !ok {
 		return ErrUnknownSegR
@@ -294,7 +380,7 @@ func (sh *cplaneShard) setupEERLocked(eer, seg reservation.ID, bwKbps uint64, no
 	if err := led.Reserve(eer, now, expT, int64(bwKbps)); err != nil {
 		return err
 	}
-	sh.eers[eer] = cpEER{seg: seg, bw: bwKbps, expT: expT}
+	sh.eers[eer] = cpEER{seg: seg, bw: bwKbps, expT: expT, ver: ver}
 	return nil
 }
 
@@ -316,11 +402,14 @@ func (c *CPlane) TeardownEER(eer, seg reservation.ID) {
 	}
 }
 
-// EERRenewal is one entry of a renewal batch.
+// EERRenewal is one entry of a renewal batch. Ver is the protocol version
+// the renewed record will carry (callers that do not track versions may
+// leave it 0).
 type EERRenewal struct {
 	EER, Seg reservation.ID
 	BwKbps   uint64
 	ExpT     uint32
+	Ver      uint16
 }
 
 // RenewResult reports one renewal's outcome. Err is a sentinel
@@ -330,54 +419,100 @@ type RenewResult struct {
 	Err     error
 }
 
-// RenewEER renews a single EER; see RenewBatch for the semantics.
+// RenewEER renews a single EER; see RenewBatch for the semantics. It takes
+// only the owning shard's lock and never touches the batch machinery.
 func (c *CPlane) RenewEER(eer, seg reservation.ID, bwKbps uint64, expT uint32) (uint64, error) {
-	item := [1]EERRenewal{{EER: eer, Seg: seg, BwKbps: bwKbps, ExpT: expT}}
-	var res [1]RenewResult
-	c.RenewBatch(item[:], res[:])
-	return res[0].Granted, res[0].Err
+	it := EERRenewal{EER: eer, Seg: seg, BwKbps: bwKbps, ExpT: expT}
+	sh := c.shardFor(seg)
+	now := c.clock()
+	sh.mu.Lock()
+	g, err, gone := sh.renewEERLocked(&it, now)
+	sh.mu.Unlock()
+	switch {
+	case err == nil:
+		c.renews.Add(1)
+	case err == ErrUnknownEER:
+		c.stale.Add(1)
+	default:
+		c.rejects.Add(1)
+	}
+	if gone {
+		c.eerCount.Add(-1)
+	}
+	return g, err
 }
 
-// RenewBatch processes a renewal wave shard-major: for each shard the lock
-// is taken once and every renewal belonging to it is processed under that
-// single acquisition, the batched analogue of §4.2's per-request renewals.
-// results[i] receives the outcome of items[i]; the two slices must have
-// equal length. A renewal is granted min(requested, free) bandwidth over
-// [now, ExpT); a zero grant restores the previous version (the flow falls
-// back to it) and reports ErrInsufficient. The method is allocation-free in
-// steady state.
+// RenewBatch processes a renewal wave shard-major: items are bucketed by
+// owning shard in one pass, then each bucket is processed under a single
+// acquisition of its shard lock — the batched analogue of §4.2's
+// per-request renewals. Buckets fan out across the configured Workers
+// (shards are lock-disjoint, and each worker writes only its bucket's
+// result indices and stats slot, so the dispatch is race-free); results are
+// identical at every worker count. results[i] receives the outcome of
+// items[i]; the two slices must have equal length. A renewal is granted
+// min(requested, free) bandwidth over [now, ExpT); a zero grant restores
+// the previous version (the flow falls back to it) and reports
+// ErrInsufficient. The method is allocation-free in steady state.
 //
 //colibri:nomalloc
 func (c *CPlane) RenewBatch(items []EERRenewal, results []RenewResult) {
 	if len(items) != len(results) {
 		batchLenMismatch()
 	}
-	now := c.clock()
-	var renews, rejects uint64
-	var expired int64
-	for _, sh := range c.shards {
-		sh.mu.Lock()
-		for i := range items {
-			it := &items[i]
-			if c.shardFor(it.Seg) != sh {
-				continue
-			}
-			g, err, gone := sh.renewEERLocked(it, now)
-			results[i] = RenewResult{Granted: g, Err: err}
-			if err != nil {
-				rejects++
-			} else {
-				renews++
-			}
-			if gone {
-				expired++
-			}
-		}
-		sh.mu.Unlock()
+	c.batchMu.Lock()
+	c.curNow = c.clock()
+	for i := range c.buckets {
+		c.buckets[i] = c.buckets[i][:0]
 	}
+	for i := range items {
+		b := c.shardIndex(items[i].Seg)
+		c.buckets[b] = append(c.buckets[b], int32(i))
+	}
+	c.curItems, c.curResults = items, results
+	c.pool.Dispatch(len(c.shards))
+	c.curItems, c.curResults = nil, nil
+	var renews, rejects, stale uint64
+	var expired int64
+	for i := range c.batchStats {
+		st := &c.batchStats[i]
+		renews += st.renews
+		rejects += st.rejects
+		stale += st.stale
+		expired += st.expired
+		*st = cpBatchStats{}
+	}
+	c.batchMu.Unlock()
 	c.renews.Add(renews)
 	c.rejects.Add(rejects)
+	c.stale.Add(stale)
 	c.eerCount.Add(-expired)
+}
+
+// runBatchShard drains one shard's bucket of the in-flight RenewBatch. It
+// runs on a pool worker (or inline); the Dispatch barrier orders its writes
+// before the dispatcher's reads.
+//
+//colibri:nomalloc
+func (c *CPlane) runBatchShard(si int) {
+	sh := c.shards[si]
+	st := &c.batchStats[si]
+	sh.mu.Lock()
+	for _, i := range c.buckets[si] {
+		g, err, gone := sh.renewEERLocked(&c.curItems[i], c.curNow)
+		c.curResults[i] = RenewResult{Granted: g, Err: err}
+		switch {
+		case err == nil:
+			st.renews++
+		case err == ErrUnknownEER:
+			st.stale++
+		default:
+			st.rejects++
+		}
+		if gone {
+			st.expired++
+		}
+	}
+	sh.mu.Unlock()
 }
 
 // batchLenMismatch stays out of line so the panic value is not attributed
@@ -397,6 +532,11 @@ func (sh *cplaneShard) renewEERLocked(it *EERRenewal, now uint32) (grant uint64,
 	e, ok := sh.eers[it.EER]
 	if !ok || e.seg != it.Seg {
 		return 0, ErrUnknownEER, false
+	}
+	if e.seg2 != (reservation.ID{}) {
+		// Transfer-AS record: its second charge lives in another shard, so
+		// the single-shard batch path must not touch it (RenewEERPath does).
+		return 0, ErrTransferEER, false
 	}
 	led := sh.ledgers[it.Seg]
 	if led == nil {
@@ -440,7 +580,7 @@ func (sh *cplaneShard) renewEERLocked(it *EERRenewal, now uint32) (grant uint64,
 		delete(sh.eers, it.EER)
 		return 0, rerr, true
 	}
-	sh.eers[it.EER] = cpEER{seg: e.seg, bw: grant, expT: it.ExpT}
+	sh.eers[it.EER] = cpEER{seg: e.seg, bw: grant, expT: it.ExpT, ver: it.Ver}
 	return grant, nil, false
 }
 
@@ -451,6 +591,7 @@ func (c *CPlane) Tick() int {
 	now := c.clock()
 	total := 0
 	for _, sh := range c.shards {
+		var expired []cpEER
 		sh.mu.Lock()
 		var ids []reservation.ID
 		for id := range sh.eers {
@@ -462,6 +603,11 @@ func (c *CPlane) Tick() int {
 			if e.expT <= now {
 				if led := sh.ledgers[e.seg]; led != nil {
 					led.Teardown(id)
+				}
+				// seg2's ledger (possibly in another shard) self-cleans: an
+				// expired charge lies entirely in the past and Advance drops it.
+				if e.seg2 != (reservation.ID{}) && c.onExpire != nil {
+					expired = append(expired, e)
 				}
 				delete(sh.eers, id)
 				total++
@@ -476,15 +622,22 @@ func (c *CPlane) Tick() int {
 			sh.ledgers[id].Advance(now)
 		}
 		sh.mu.Unlock()
+		for _, e := range expired {
+			c.onExpire(e.seg, e.seg2, e.bw)
+		}
 	}
 	c.eerCount.Add(-int64(total))
 	return total
 }
 
 // CPlaneCounts is a lock-free snapshot of the engine's aggregate state.
+// Rejects are real capacity/window refusals; Dedups are idempotent
+// duplicates of committed state (retried setups); Stale are renewals of
+// EERs that had already expired or were never admitted.
 type CPlaneCounts struct {
 	SegRs, EERs             int64
 	Admits, Renews, Rejects uint64
+	Dedups, Stale           uint64
 }
 
 // Counts reads the aggregate counters without taking any shard lock.
@@ -497,6 +650,8 @@ func (c *CPlane) Counts() CPlaneCounts {
 		Admits:  c.admits.Load(),
 		Renews:  c.renews.Load(),
 		Rejects: c.rejects.Load(),
+		Dedups:  c.dedups.Load(),
+		Stale:   c.stale.Load(),
 	}
 }
 

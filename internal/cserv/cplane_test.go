@@ -113,8 +113,14 @@ func TestCPlaneLifecycle(t *testing.T) {
 	if ct.SegRs != 0 || ct.EERs != 0 {
 		t.Fatalf("counts not drained: %+v", ct)
 	}
-	if ct.Rejects != 2 {
-		t.Fatalf("rejects=%d, want 2 (oversubscribed setup + duplicate)", ct.Rejects)
+	if ct.Rejects != 1 {
+		t.Fatalf("rejects=%d, want 1 (oversubscribed setup only)", ct.Rejects)
+	}
+	if ct.Dedups != 1 {
+		t.Fatalf("dedups=%d, want 1 (duplicate setup is an idempotent retry, not a refusal)", ct.Dedups)
+	}
+	if ct.Stale != 0 {
+		t.Fatalf("stale=%d, want 0", ct.Stale)
 	}
 }
 

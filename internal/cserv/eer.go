@@ -165,15 +165,21 @@ func eerAuthAD(id reservation.ID, hop uint8) []byte {
 // reservations this hop participates in (one normally, two at transfer
 // ASes).
 func segsCovering(req *EESetupReq, idx int) []int {
-	if len(req.SegIDs) == 1 {
+	return coveringSegs(len(req.SegIDs), req.Splits, len(req.Path), idx)
+}
+
+// coveringSegs is the chain-geometry core of segsCovering, shared with the
+// batch-renewal handler (whose items all ride the same SegR chain).
+func coveringSegs(nSeg int, splits []uint8, pathLen, idx int) []int {
+	if nSeg == 1 {
 		return []int{0}
 	}
 	start := 0
 	var covering []int
-	for k := 0; k < len(req.SegIDs); k++ {
-		end := len(req.Path) - 1
-		if k < len(req.Splits) {
-			end = int(req.Splits[k])
+	for k := 0; k < nSeg; k++ {
+		end := pathLen - 1
+		if k < len(splits) {
+			end = int(splits[k])
 		}
 		if idx >= start && idx <= end {
 			covering = append(covering, k)
@@ -216,6 +222,14 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 	}
 	hop := req.Path[idx]
 	now := s.clock()
+	// The covering SegRs decide where this AS's admission state lives: one
+	// segment normally, two at a transfer AS (§4.7). The CPlane keys its EER
+	// record by the primary (first local) covering segment, so the dedup
+	// below needs it before any store lookup.
+	covering := segsCovering(req, idx)
+	if len(covering) == 0 {
+		return fail("hop %d is not covered by any segment reservation", idx)
+	}
 	// Idempotent retry detection (idempotency key: (ID, Ver) with matching
 	// expiry): a lost response leaves every hop downstream of the loss
 	// committed, so a retried request finds its own version here. Answer
@@ -224,7 +238,11 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 	// it just admitted.
 	var dup bool
 	var dupKbps uint64
-	if existing, gerr := s.store.GetEER(req.ID); gerr == nil {
+	if s.cp != nil {
+		if bw, ver, expT, ok := s.cp.LookupEER(req.ID, req.SegIDs[covering[0]]); ok && ver == req.Ver && expT == req.ExpT {
+			dup, dupKbps = true, bw
+		}
+	} else if existing, gerr := s.store.GetEER(req.ID); gerr == nil {
 		for _, v := range existing.Versions {
 			if v.Ver == req.Ver && v.ExpT == req.ExpT {
 				dup, dupKbps = true, v.BwKbps
@@ -254,7 +272,6 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 		return fail("destination refused")
 	}
 
-	covering := segsCovering(req, idx)
 	localSegIDs := make([]reservation.ID, 0, 2)
 	segRs := make([]*reservation.SegR, 0, 2)
 	for _, k := range covering {
@@ -266,26 +283,67 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 		segRs = append(segRs, sr)
 	}
 
-	// Transfer-AS proportional split between up- and core-SegR (§4.7).
+	// prev* capture the live record this request replaces: the transfer split
+	// credits it as freed headroom and returns its charge once the new version
+	// commits, and a downstream failure reinstates it (the CPlane holds one
+	// version per EER; the store's rollback instead removes the added version
+	// from the list). Store.LiveVersion mirrors CPlane.LookupEER so both
+	// admission modes account identically.
+	var prevBw uint64
+	var prevExpT uint32
+	var prevVer uint16
+	var hadPrev bool
+	if !dup {
+		if s.cp != nil {
+			prevBw, prevVer, prevExpT, hadPrev = s.cp.LookupEER(req.ID, localSegIDs[0])
+		} else {
+			prevBw, prevVer, prevExpT, hadPrev = s.store.LiveVersion(req.ID, now)
+		}
+	}
+
+	// Transfer-AS proportional split between up- and core-SegR (§4.7). The
+	// split accumulates demand/grant per Admit; every exit path below must
+	// return exactly what it no longer claims — refusal, admission failure,
+	// downstream rollback, and the final clamp to the path-wide minimum —
+	// so the split tracks precisely the live committed charges (dead demand
+	// otherwise accumulates until the fair-share cap refuses everything;
+	// the renewal-storm recovery at 10⁶ flows found every one of these).
 	grant := accum
 	if dup {
 		grant = dupKbps
 	}
+	var tAdmitted bool
+	var tCapped, tGrant uint64
+	var tUp, tCore reservation.ID
 	if !dup && len(segRs) == 2 && segRs[0].SegType == segment.Up && segRs[1].SegType == segment.Core {
 		up, core := segRs[0], segRs[1]
+		upAvail, coreAvail := up.AvailableEERKbps(), core.AvailableEERKbps()
+		if s.cp != nil {
+			upAvail = s.cp.SegAvail(up.ID, now, req.ExpT)
+			coreAvail = s.cp.SegAvail(core.ID, now, req.ExpT)
+		}
+		if req.Renewal && hadPrev && prevExpT > now {
+			// The ledger (or store) still carries this EER's own live charge,
+			// which the renewal replaces — RenewEERPath removes it before
+			// probing, and the store's versions share one max-over-versions
+			// budget. Credit it so the split sees the true post-renewal
+			// headroom, identically in both admission modes.
+			upAvail += prevBw
+			coreAvail += prevBw
+		}
 		asked := grant
 		grant = s.transfer.Admit(core.ID, up.ID, asked,
 			up.Active.BwKbps, core.Active.BwKbps,
-			up.AvailableEERKbps(), core.AvailableEERKbps())
+			upAvail, coreAvail)
+		tCapped = asked
+		if tCapped > up.Active.BwKbps {
+			tCapped = up.Active.BwKbps
+		}
 		// A *setup* is granted in full or refused (§4.7: "the intended
 		// bandwidth is granted if there is sufficient available bandwidth");
 		// only renewals may be granted a reduced amount (§4.2).
 		if grant == 0 || (!req.Renewal && grant < asked) {
-			demand := asked
-			if demand > up.Active.BwKbps {
-				demand = up.Active.BwKbps
-			}
-			s.transfer.Release(core.ID, up.ID, demand, grant)
+			s.transfer.Release(core.ID, up.ID, tCapped, grant)
 			s.metrics.AdmReject.Add(1)
 			if req.Renewal {
 				// The EER's previous versions stay valid: the flow falls
@@ -294,6 +352,15 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 			}
 			return fail("transfer split: only %d of %d kbps available on core SegR %s",
 				grant, asked, core.ID)
+		}
+		tAdmitted, tGrant, tUp, tCore = true, grant, up.ID, core.ID
+	}
+	// releaseT undoes the split admission in full — for every path on which
+	// this hop's new version does not survive.
+	releaseT := func() {
+		if tAdmitted {
+			s.transfer.Release(tCore, tUp, tCapped, tGrant)
+			tAdmitted = false
 		}
 	}
 
@@ -308,18 +375,52 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 	}
 	v := reservation.Version{Ver: req.Ver, BwKbps: grant, ExpT: req.ExpT}
 	if !dup {
-		if err := s.store.AdmitEERVersion(eer, localSegIDs, v, now); err != nil {
-			s.metrics.AdmReject.Add(1)
-			if req.Renewal {
-				s.metrics.AdmFallback.Add(1)
+		if s.cp != nil {
+			var aerr error
+			if req.Renewal && hadPrev {
+				var g uint64
+				if g, aerr = s.cp.RenewEERPath(req.ID, localSegIDs, grant, req.ExpT, req.Ver); aerr == nil {
+					// Renewals may legally shrink to the free bandwidth (§4.2).
+					grant = g
+				}
+			} else {
+				// A fresh setup — or a renewal of an EER this AS no longer
+				// holds (version expired, or state lost in a crash): admit it
+				// anew so the flow re-promotes instead of staying demoted.
+				aerr = s.cp.SetupEERPath(req.ID, localSegIDs, grant, req.ExpT, req.Ver)
 			}
-			return fail("admission: %v", err)
+			if aerr != nil {
+				releaseT()
+				s.metrics.AdmReject.Add(1)
+				if req.Renewal {
+					s.metrics.AdmFallback.Add(1)
+				}
+				return fail("admission: %v", aerr)
+			}
+		} else {
+			if err := s.store.AdmitEERVersion(eer, localSegIDs, v, now); err != nil {
+				releaseT()
+				s.metrics.AdmReject.Add(1)
+				if req.Renewal {
+					s.metrics.AdmFallback.Add(1)
+				}
+				return fail("admission: %v", err)
+			}
 		}
 	}
 	rollback := func() {
 		if dup {
 			// Retried request over committed state: the original round
 			// owns this version's lifecycle.
+			return
+		}
+		releaseT()
+		if s.cp != nil {
+			if req.Renewal && hadPrev {
+				s.cp.RestoreEERPath(req.ID, localSegIDs, prevBw, prevExpT, prevVer)
+			} else {
+				s.cp.TeardownEERPath(req.ID, localSegIDs)
+			}
 			return
 		}
 		_ = s.store.RemoveEERVersion(req.ID, req.Ver)
@@ -350,7 +451,9 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 
 	final := resp.FinalKbps
 	if final < grant {
-		if err := s.store.AdjustEERVersion(req.ID, req.Ver, final); err != nil {
+		if s.cp != nil {
+			s.cp.AdjustEERPath(req.ID, localSegIDs, final)
+		} else if err := s.store.AdjustEERVersion(req.ID, req.Ver, final); err != nil {
 			rollback()
 			return fail("adjust: %v", err)
 		}
@@ -371,6 +474,17 @@ func (s *Service) processEESetup(req *EESetupReq, idx int, accum uint64) (resp_ 
 	if err != nil {
 		rollback()
 		return fail("seal: %v", err)
+	}
+	if tAdmitted {
+		// The version is committed: clamp the split's record of it to the
+		// final path-wide grant, and return the replaced live version's
+		// charge — the split tracks live committed bandwidth, not request
+		// history (final ≤ grant ≤ capped by construction).
+		s.transfer.Release(tCore, tUp, tCapped-final, tGrant-final)
+		if req.Renewal && hadPrev && prevExpT > now {
+			s.transfer.Release(tCore, tUp, prevBw, prevBw)
+		}
+		tAdmitted = false
 	}
 	resp.EncAuths[idx] = sealed
 	return resp

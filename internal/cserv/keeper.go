@@ -56,12 +56,25 @@ func (k *EERKeeper) Demoted() bool { return k.demoted }
 // failure, if any; the flow keeps working (reserved or best-effort) either
 // way.
 func (k *EERKeeper) Tick() error {
-	now := k.svc.clock()
-	exp := k.grant.Res.ExpT
-	if !k.demoted && exp > now+k.lead {
+	if !k.due(k.svc.clock()) {
 		return nil
 	}
 	g, err := k.svc.RenewEER(k.grant, uint64(k.grant.Res.BwKbps))
+	return k.applyOutcome(g, err)
+}
+
+// due reports whether the keeper wants a renewal attempt at now: inside the
+// lead window, or any time while demoted (re-promotion retries, §3.2).
+func (k *EERKeeper) due(now uint32) bool {
+	return k.demoted || k.grant.Res.ExpT <= now+k.lead
+}
+
+// applyOutcome applies one renewal attempt's result — the same
+// demotion/re-promotion bookkeeping whether the attempt traveled alone
+// (Tick) or in a batched wave (KeeperFleet).
+func (k *EERKeeper) applyOutcome(g *EERGrant, err error) error {
+	now := k.svc.clock()
+	exp := k.grant.Res.ExpT
 	if err == nil && g.Res.BwKbps == 0 && k.grant.Res.BwKbps > 0 {
 		// A zero-bandwidth grant for a flow that had bandwidth is a failed
 		// renewal (the satellite of the SameBandwidth bug): don't install
@@ -94,4 +107,109 @@ func (k *EERKeeper) Tick() error {
 		k.svc.metrics.Trace(int64(now)*1e9, telemetry.EvPromote, g.ID.String(), true, "")
 	}
 	return nil
+}
+
+// KeeperFleet maintains many EERKeepers and renews the due ones in batched
+// waves: keepers whose grants ride the same SegR chain (same SegIDs, Splits,
+// and Path) are grouped and sent as EEBatchRenewReqs of at most BatchSize
+// items, so a renewal storm costs one MAC verification and one shard-lock
+// sweep per wave instead of per EER. Per-keeper semantics (zero-grant
+// detection, demote/re-promote, counters) are exactly EERKeeper.Tick's.
+//
+// Not safe for concurrent use; drive it from one maintenance loop.
+type KeeperFleet struct {
+	svc     *Service
+	keepers []*EERKeeper
+	// BatchSize caps one wave's item count (bounding message size and the
+	// blast radius of a transport failure, which fails the whole wave).
+	BatchSize int
+}
+
+// DefaultBatchSize is KeeperFleet's wave-size cap when BatchSize is 0.
+const DefaultBatchSize = 4096
+
+// NewKeeperFleet builds an empty fleet over one source AS's service.
+func NewKeeperFleet(svc *Service) *KeeperFleet {
+	return &KeeperFleet{svc: svc, BatchSize: DefaultBatchSize}
+}
+
+// Add registers a keeper with the fleet.
+func (f *KeeperFleet) Add(k *EERKeeper) { f.keepers = append(f.keepers, k) }
+
+// Len returns the number of keepers in the fleet.
+func (f *KeeperFleet) Len() int { return len(f.keepers) }
+
+// Keepers returns the fleet's keepers in insertion order.
+func (f *KeeperFleet) Keepers() []*EERKeeper { return f.keepers }
+
+// Demoted counts keepers currently demoted to best-effort.
+func (f *KeeperFleet) Demoted() int {
+	n := 0
+	for _, k := range f.keepers {
+		if k.demoted {
+			n++
+		}
+	}
+	return n
+}
+
+// chainKey is a grant's batching signature: items in one EEBatchRenewReq
+// must share the SegR chain and path verbatim.
+func chainKey(g *EERGrant) string {
+	b := make([]byte, 0, 64)
+	for _, id := range g.SegIDs {
+		b = appendID(b, id)
+	}
+	b = append(b, 0xff)
+	b = append(b, g.Splits...)
+	b = append(b, 0xff)
+	b = appendHops(b, g.PathHops)
+	return string(b)
+}
+
+// Tick runs one maintenance step: collect the due keepers, group them by
+// chain signature (insertion-ordered — no map iteration, so runs are
+// deterministic), renew each group in waves of at most BatchSize, and apply
+// each item's outcome to its keeper. It returns the number of renewal
+// attempts that failed this tick.
+func (f *KeeperFleet) Tick() int {
+	now := f.svc.clock()
+	groupOf := make(map[string]int)
+	var groups [][]*EERKeeper
+	for _, k := range f.keepers {
+		if !k.due(now) {
+			continue
+		}
+		key := chainKey(k.grant)
+		gi, ok := groupOf[key]
+		if !ok {
+			gi = len(groups)
+			groupOf[key] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], k)
+	}
+	size := f.BatchSize
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	failures := 0
+	for _, group := range groups {
+		for off := 0; off < len(group); off += size {
+			wave := group[off:min(off+size, len(group))]
+			prevs := make([]*EERGrant, len(wave))
+			bws := make([]uint64, len(wave))
+			for i, k := range wave {
+				prevs[i] = k.grant
+				bws[i] = uint64(k.grant.Res.BwKbps)
+			}
+			grants, errs := f.svc.RenewEERBatch(prevs, bws)
+			for i, k := range wave {
+				if k.applyOutcome(grants[i], errs[i]) != nil {
+					failures++
+				}
+			}
+		}
+	}
+	return failures
 }

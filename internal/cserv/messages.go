@@ -30,11 +30,12 @@ import (
 
 // Message type tags.
 const (
-	tagSegSetup    = 1
-	tagSegRenew    = 2
-	tagSegActivate = 3
-	tagEESetup     = 4
-	tagEERenew     = 5
+	tagSegSetup     = 1
+	tagSegRenew     = 2
+	tagSegActivate  = 3
+	tagEESetup      = 4
+	tagEERenew      = 5
+	tagEEBatchRenew = 7
 )
 
 // Errors of the wire layer.

@@ -61,6 +61,46 @@ func TestRetryTransportDeadline(t *testing.T) {
 	}
 }
 
+// TestRetryTransportDeadlineWithNowOnly is the regression for the
+// mixed-clock accounting bug: with a Now hook but NO Sleep hook (an
+// instantaneous in-process transport observed through a virtual clock that
+// backoff cannot advance), waits used to be credited to a private clock the
+// deadline check never read, so DeadlineNs could not trip from backoff and
+// the loop always ran to ErrExhausted.
+func TestRetryTransportDeadlineWithNowOnly(t *testing.T) {
+	inner := &flakyTransport{fails: 1 << 30}
+	rt := NewRetryTransport(inner, RetryPolicy{
+		MaxAttempts: 10, BaseBackoffNs: 400e6, MaxBackoffNs: 400e6, DeadlineNs: 1e9,
+	}, nil)
+	rt.Now = func() int64 { return 42 } // static: calls are instantaneous
+	_, err := rt.Call(ia(1, 1), []byte{1})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline (backoff must count against the deadline)", err)
+	}
+	if inner.calls >= 10 {
+		t.Fatalf("deadline did not bound attempts: %d calls", inner.calls)
+	}
+}
+
+// TestRetryTransportDeadlineWithSleepOnly covers the mirrored mix: a Sleep
+// hook with no Now hook (nothing to read time from) must still account
+// waits locally.
+func TestRetryTransportDeadlineWithSleepOnly(t *testing.T) {
+	inner := &flakyTransport{fails: 1 << 30}
+	rt := NewRetryTransport(inner, RetryPolicy{
+		MaxAttempts: 10, BaseBackoffNs: 400e6, MaxBackoffNs: 400e6, DeadlineNs: 1e9,
+	}, nil)
+	var slept int64
+	rt.Sleep = func(d int64) { slept += d }
+	_, err := rt.Call(ia(1, 1), []byte{1})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if slept == 0 {
+		t.Fatal("Sleep hook never invoked")
+	}
+}
+
 func TestRetryTransportExhausted(t *testing.T) {
 	inner := &flakyTransport{fails: 1 << 30}
 	rt := NewRetryTransport(inner, RetryPolicy{

@@ -105,13 +105,18 @@ func NewRetryTransport(inner Transport, policy RetryPolicy, reg *telemetry.Regis
 // Call implements Transport.
 func (t *RetryTransport) Call(dst topology.IA, msg []byte) ([]byte, error) {
 	pol := t.Policy.withDefaults()
-	var virt int64 // private clock when no Now hook is set
 	now := func() int64 {
 		if t.Now != nil {
 			return t.Now()
 		}
-		return virt
+		return 0
 	}
+	// waited accounts backoff that the deadline check cannot observe through
+	// Now: with no Sleep hook nothing advances the caller's clock, and with
+	// no Now hook there is no clock to read — in both cases the wait must be
+	// charged locally or backoff would never count against DeadlineNs. Only
+	// when both hooks are present does Sleep visibly advance Now.
+	var waited int64
 	// Jitter stream: deterministic in (seed, destination, message front),
 	// so two runs of the same scenario back off identically while distinct
 	// requests don't retry in lockstep.
@@ -136,14 +141,16 @@ func (t *RetryTransport) Call(dst topology.IA, msg []byte) ([]byte, error) {
 			break // no point backing off after the final attempt
 		}
 		wait := backoff + int64(splitmix64(jseed+uint64(attempt))%uint64(backoff/2+1))
-		if now()-start+wait >= pol.DeadlineNs {
+		if now()-start+waited+wait >= pol.DeadlineNs {
 			t.Timeouts.Add(1)
 			return nil, fmt.Errorf("%w after %d attempt(s): %v", ErrDeadline, attempt+1, lastErr)
 		}
 		if t.Sleep != nil {
 			t.Sleep(wait)
 		}
-		virt += wait
+		if t.Now == nil || t.Sleep == nil {
+			waited += wait
+		}
 		if backoff < pol.MaxBackoffNs {
 			backoff *= 2
 			if backoff > pol.MaxBackoffNs {

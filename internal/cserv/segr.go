@@ -195,9 +195,9 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 	if dup {
 		s.metrics.DedupHits.Add(1)
 	} else if req.Renewal {
-		grant, undoRenew, err = s.adm.RenewSegRWithUndo(admReq)
+		grant, undoRenew, err = s.renewSegR(admReq)
 	} else {
-		grant, err = s.adm.AdmitSegR(admReq)
+		grant, err = s.admitSegR(admReq)
 	}
 	if err != nil {
 		s.metrics.AdmReject.Add(1)
@@ -219,7 +219,7 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 				undoRenew()
 			}
 		} else {
-			s.adm.Release(req.ID)
+			s.abortSegR(req.ID)
 			s.store.DeleteSegR(req.ID)
 		}
 	}
@@ -236,7 +236,7 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 			Active:  reservation.Version{Ver: req.Ver, BwKbps: grant, ExpT: req.ExpT},
 		}
 		if err := s.store.AddSegR(segr); err != nil {
-			s.adm.Release(req.ID)
+			s.abortSegR(req.ID)
 			return fail("store: %v", err)
 		}
 	}
@@ -272,7 +272,7 @@ func (s *Service) processSegSetup(req *SegSetupReq, idx int, accum uint64) (resp
 			return fail("confirm: %v", err)
 		}
 	}
-	if err := s.adm.AdjustGrant(req.ID, final); err != nil {
+	if err := s.adjustSegR(req.ID, final); err != nil {
 		rollback()
 		return fail("adjust: %v", err)
 	}
@@ -331,10 +331,17 @@ func (s *Service) processSegActivate(req *SegActivateReq, idx int) *SegSetupResp
 		return fail("no pending version %d", req.Ver)
 	}
 	// Refuse before forwarding if the switch would over-allocate locally, so
-	// downstream ASes are never activated ahead of a doomed local switch.
-	if segr.Pending.BwKbps < segr.AllocatedEERKbps {
+	// downstream ASes are never activated ahead of a doomed local switch. In
+	// CPlane mode the EER demand lives in the per-SegR ledger, not the store.
+	allocated := segr.AllocatedEERKbps
+	if s.cp != nil {
+		if m, ok := s.cp.SegDemandMax(req.ID); ok {
+			allocated = m
+		}
+	}
+	if segr.Pending.BwKbps < allocated {
 		return fail("pending version %d (%d kbps) below allocated EER bandwidth (%d kbps)",
-			req.Ver, segr.Pending.BwKbps, segr.AllocatedEERKbps)
+			req.Ver, segr.Pending.BwKbps, allocated)
 	}
 	if idx < len(req.Path)-1 {
 		next := req.Path[idx+1].IA

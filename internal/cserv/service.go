@@ -10,6 +10,7 @@ import (
 	"colibri/internal/drkey"
 	"colibri/internal/packet"
 	"colibri/internal/reservation"
+	"colibri/internal/segment"
 	"colibri/internal/telemetry"
 	"colibri/internal/topology"
 )
@@ -106,6 +107,18 @@ type Config struct {
 	// (FuzzAdmissionEquivalence); restree additionally time-bounds
 	// reservations and expires them without an explicit release.
 	AdmissionImpl string
+	// CPlaneShards, when > 0, routes the live request path's admission state
+	// through a sharded CPlane engine instead of the single-lock Admitter and
+	// the store's EER accounting: SegR admission goes to per-shard admitters,
+	// EER demand to per-SegR restree ledgers, and renewal waves to the
+	// shard-major RenewBatch. The store keeps the SegR protocol state
+	// (versions, tokens, idempotency keys) in both modes. Must be a power of
+	// two; 0 keeps the classic single-store path.
+	CPlaneShards int
+	// CPlaneWorkers fans RenewBatch shard buckets across this many goroutines
+	// (0 or 1 = inline). Only meaningful with CPlaneShards > 0; call Close on
+	// the Service when using more than one worker.
+	CPlaneWorkers int
 	// Telemetry is the AS-wide registry the service's metrics and lifecycle
 	// tracer attach to; a private registry is created when nil.
 	Telemetry *telemetry.Registry
@@ -121,6 +134,10 @@ type Service struct {
 	store    *reservation.Store
 	adm      admission.Admitter
 	transfer *admission.TransferSplit
+	// cp is the sharded control-plane engine; nil in classic mode. When set,
+	// SegR admission and EER demand accounting run through it (see
+	// cplane_live.go) and the store carries only protocol state.
+	cp *CPlane
 
 	secret  cryptoutil.Key
 	engine  *drkey.Engine
@@ -158,6 +175,20 @@ func New(cfg Config) *Service {
 	if err != nil {
 		panic(err)
 	}
+	var cp *CPlane
+	if cfg.CPlaneShards > 0 {
+		cp, err = NewCPlane(CPlaneConfig{
+			AS:            cfg.AS,
+			Split:         cfg.Split,
+			Shards:        cfg.CPlaneShards,
+			AdmissionImpl: cfg.AdmissionImpl,
+			Clock:         cfg.Clock,
+			Workers:       cfg.CPlaneWorkers,
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
 	s := &Service{
 		ia:         cfg.AS.IA,
 		as:         cfg.AS,
@@ -165,6 +196,7 @@ func New(cfg Config) *Service {
 		split:      cfg.Split,
 		store:      reservation.NewStore(cfg.AS.IA),
 		adm:        adm,
+		cp:         cp,
 		transfer:   admission.NewTransferSplit(),
 		secret:     cfg.Secret,
 		engine:     cfg.Engine,
@@ -179,6 +211,25 @@ func New(cfg Config) *Service {
 	}
 	s.macPool.New = func() any { return cryptoutil.MustCBCMAC(s.secret) }
 	s.metrics.init("cserv "+cfg.AS.IA.String(), cfg.Telemetry)
+	if cp != nil {
+		// An EER that lapses without being renewed must return its charge to
+		// the §4.7 transfer-split accounting, or dead demand accumulates until
+		// the fair-share cap refuses every re-admission (the renewal-storm
+		// recovery path found this at 10⁶ flows). Only up→core records ever
+		// admitted through the split; the core+down pair at the far transfer
+		// AS carries no split charge.
+		cp.OnExpire(func(seg, seg2 reservation.ID, bwKbps uint64) {
+			up, err := s.store.GetSegR(seg)
+			if err != nil || up.SegType != segment.Up {
+				return
+			}
+			core, err := s.store.GetSegR(seg2)
+			if err != nil || core.SegType != segment.Core {
+				return
+			}
+			s.transfer.Release(core.ID, up.ID, bwKbps, bwKbps)
+		})
+	}
 	return s
 }
 
@@ -191,6 +242,50 @@ func (s *Service) Store() *reservation.Store { return s.store }
 
 // Admission exposes the admission state (for metrics and tests).
 func (s *Service) Admission() admission.Admitter { return s.adm }
+
+// CPlane exposes the sharded control-plane engine; nil in classic mode.
+func (s *Service) CPlane() *CPlane { return s.cp }
+
+// Close releases background resources (the CPlane's batch workers). Safe to
+// call on classic-mode services; no request may be in flight.
+func (s *Service) Close() {
+	if s.cp != nil {
+		s.cp.Close()
+	}
+}
+
+// admitSegR dispatches SegR admission to the CPlane or the single admitter.
+func (s *Service) admitSegR(req admission.Request) (uint64, error) {
+	if s.cp != nil {
+		return s.cp.AddSegR(req)
+	}
+	return s.adm.AdmitSegR(req)
+}
+
+// renewSegR dispatches a SegR renewal, returning the snapshot-restoring undo.
+func (s *Service) renewSegR(req admission.Request) (uint64, func(), error) {
+	if s.cp != nil {
+		return s.cp.RenewSegRWithUndo(req)
+	}
+	return s.adm.RenewSegRWithUndo(req)
+}
+
+// adjustSegR dispatches the backward-pass grant shrink.
+func (s *Service) adjustSegR(id reservation.ID, finalKbps uint64) error {
+	if s.cp != nil {
+		return s.cp.AdjustSegR(id, finalKbps)
+	}
+	return s.adm.AdjustGrant(id, finalKbps)
+}
+
+// abortSegR dispatches the rollback of a fresh (non-renewal) SegR admission.
+func (s *Service) abortSegR(id reservation.ID) {
+	if s.cp != nil {
+		s.cp.AbortSegR(id)
+		return
+	}
+	s.adm.Release(id)
+}
 
 // Secret returns the AS data-plane secret shared with the border routers.
 func (s *Service) Secret() cryptoutil.Key { return s.secret }
@@ -252,6 +347,16 @@ func (s *Service) HandleMsg(data []byte) ([]byte, error) {
 		}
 		resp := s.processEESetup(req, idx, accum)
 		return resp.Marshal(), nil
+	case tagEEBatchRenew:
+		req, err := UnmarshalEEBatchRenewReq(data)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := s.hopIndex(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		return s.processEEBatchRenew(req, idx).Marshal(), nil
 	case tagDownReq:
 		req, err := UnmarshalDownSegReq(data)
 		if err != nil {
@@ -352,11 +457,20 @@ func (s *Service) Tick() {
 	now := s.clock()
 	removed := s.store.Cleanup(now)
 	for _, id := range removed {
-		s.adm.Release(id)
+		if s.cp != nil {
+			// DropSegR also tears down the EER charges riding on the SegR —
+			// including transfer-AS records whose other segment survives.
+			s.cp.DropSegR(id)
+		} else {
+			s.adm.Release(id)
+		}
 		s.transfer.DropCore(id)
 		if s.dir != nil {
 			s.dir.Unregister(id)
 		}
+	}
+	if s.cp != nil {
+		s.cp.Tick()
 	}
 	if s.dir != nil {
 		s.dir.Expire(now)
