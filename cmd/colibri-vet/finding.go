@@ -31,6 +31,8 @@ type Reporter struct {
 	findings []Finding
 	// suppressed counts findings dropped by //colibri:allow for the summary.
 	suppressed int
+	// baselined counts findings filtered by a committed baseline report.
+	baselined int
 }
 
 func NewReporter(modRoot string, fset *token.FileSet, sup *SuppressionIndex) *Reporter {
@@ -118,12 +120,38 @@ func (r *Reporter) WriteText(w io.Writer) {
 	}
 }
 
+// ApplyBaseline removes findings matching the committed baseline set and
+// returns how many were filtered. Matching ignores line/col (annotated code
+// drifts) and keys on file, check and message as a multiset, so a second
+// identical finding in the same file is still new.
+func (r *Reporter) ApplyBaseline(base []Finding) int {
+	accepted := map[string]int{}
+	key := func(f Finding) string { return f.File + "\x00" + f.Check + "\x00" + f.Message }
+	for _, f := range base {
+		accepted[key(f)]++
+	}
+	kept := r.findings[:0]
+	filtered := 0
+	for _, f := range r.findings {
+		if accepted[key(f)] > 0 {
+			accepted[key(f)]--
+			filtered++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	r.findings = kept
+	r.baselined = filtered
+	return filtered
+}
+
 // jsonReport is the CI-facing envelope: machine-readable findings plus the
 // counts a gate needs to fail fast.
 type jsonReport struct {
 	Findings   []Finding `json:"findings"`
 	Count      int       `json:"count"`
 	Suppressed int       `json:"suppressed"`
+	Baselined  int       `json:"baselined,omitempty"`
 }
 
 // WriteJSON renders the findings as a JSON object for CI consumption.
@@ -134,5 +162,5 @@ func (r *Reporter) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{Findings: fs, Count: len(fs), Suppressed: r.suppressed})
+	return enc.Encode(jsonReport{Findings: fs, Count: len(fs), Suppressed: r.suppressed, Baselined: r.baselined})
 }

@@ -13,14 +13,18 @@
 //	go run ./cmd/colibri-vet -json ./...      # CI gate: JSON report on stdout
 //	go run ./cmd/colibri-vet -checks determinism,locks ./internal/cserv
 //
-// Annotation grammar (see DESIGN.md §5):
+// Annotation grammar (see DESIGN.md §5, §5a):
 //
 //	//colibri:allow(check[,check...])   suppress on this line (or next, if alone)
 //	//colibri:ordered                   file opt-out of the map-iteration rule
 //	//colibri:nomalloc                  function must not heap-allocate
+//	//colibri:singlewriter              atomic field written by exactly one func
+//	//colibri:shardowned                struct is shard-private state
+//	//colibri:unbounded(reason)         intentional rendezvous channel
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,10 +41,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		jsonOut  = fs.Bool("json", false, "emit a JSON report (for CI) instead of file:line text")
-		checks   = fs.String("checks", "determinism,nomalloc,locks,telemetry,errors", "comma-separated checks to run")
+		checks   = fs.String("checks", "determinism,nomalloc,locks,telemetry,errors,atomics,shardown,goroutines", "comma-separated checks to run")
 		detPkgs  = fs.String("deterministic", "netsim,cserv,admission,experiments,reservation,restree", "package names held to the determinism rules")
 		chdir    = fs.String("C", "", "change to this directory before resolving patterns")
 		typeErrs = fs.Bool("typecheck-strict", false, "fail on type-checking errors instead of analyzing best-effort")
+		baseline = fs.String("baseline", "", "JSON report of accepted findings: matching findings are reported as baselined, only new ones fail")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cwd = *chdir
 	}
 
-	findings, nerr := Analyze(cwd, patterns, strings.Split(*checks, ","), strings.Split(*detPkgs, ","), *jsonOut, *typeErrs, stdout, stderr)
+	findings, nerr := Analyze(cwd, patterns, strings.Split(*checks, ","), strings.Split(*detPkgs, ","), *baseline, *jsonOut, *typeErrs, stdout, stderr)
 	if nerr != 0 {
 		return 2
 	}
@@ -70,8 +75,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // Analyze loads the packages matched by patterns under cwd's module, runs
 // the selected checks and writes the report. It returns the finding count
-// and a non-zero error count on infrastructure failures.
-func Analyze(cwd string, patterns, checkNames, detPkgs []string, jsonOut, strict bool, stdout, stderr io.Writer) (findings, errs int) {
+// and a non-zero error count on infrastructure failures. When baselinePath
+// names a committed JSON report, findings matching it are filtered to a
+// baselined tally so CI fails only on new findings (annotated burn-down).
+func Analyze(cwd string, patterns, checkNames, detPkgs []string, baselinePath string, jsonOut, strict bool, stdout, stderr io.Writer) (findings, errs int) {
 	loader, err := NewLoader(cwd)
 	if err != nil {
 		fmt.Fprintln(stderr, "colibri-vet:", err)
@@ -137,6 +144,9 @@ func Analyze(cwd string, patterns, checkNames, detPkgs []string, jsonOut, strict
 	lkCheck := &locksCheck{}
 	telCheck := &telemetryCheck{}
 	errCheck := &errcheckCheck{}
+	atCheck := &atomicsCheck{}
+	soCheck := &shardownCheck{}
+	grCheck := &goroutinesCheck{}
 	for _, p := range pkgs {
 		if enabled[checkDeterminism] {
 			detCheck.Run(p, rep)
@@ -153,9 +163,36 @@ func Analyze(cwd string, patterns, checkNames, detPkgs []string, jsonOut, strict
 		if enabled[checkErrors] {
 			errCheck.Run(p, rep)
 		}
+		if enabled[checkAtomics] {
+			atCheck.Run(p, rep)
+		}
+		if enabled[checkShardown] {
+			soCheck.Run(p, rep)
+		}
+		if enabled[checkGoroutines] {
+			grCheck.Run(p, rep)
+		}
 	}
 	if enabled[checkTelemetry] {
 		telCheck.Finish(rep)
+	}
+	if enabled[checkAtomics] {
+		atCheck.Finish(rep)
+	}
+	if enabled[checkShardown] {
+		soCheck.Finish(rep)
+	}
+
+	if baselinePath != "" {
+		base, err := loadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "colibri-vet: baseline:", err)
+			return 0, 1
+		}
+		n := rep.ApplyBaseline(base)
+		if n > 0 {
+			fmt.Fprintf(stderr, "colibri-vet: %d finding(s) matched the committed baseline\n", n)
+		}
 	}
 
 	if jsonOut {
@@ -167,4 +204,18 @@ func Analyze(cwd string, patterns, checkNames, detPkgs []string, jsonOut, strict
 		rep.WriteText(stdout)
 	}
 	return len(rep.Findings()), 0
+}
+
+// loadBaseline reads a committed colibri-vet -json report. Its findings are
+// the accepted burn-down set: they don't fail the gate, new ones do.
+func loadBaseline(path string) ([]Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep.Findings, nil
 }

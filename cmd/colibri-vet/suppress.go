@@ -8,6 +8,17 @@
 //	    range in it is order-insensitive or intentionally unordered).
 //	//colibri:nomalloc                 — function annotation: the function
 //	    body must not heap-allocate (verified against escape analysis).
+//	//colibri:singlewriter             — field annotation (atomics check):
+//	    the atomic field is written from exactly one function; writes from
+//	    a second function are findings.
+//	//colibri:shardowned               — struct-type annotation (shardown
+//	    check): fields are shard-private and may only be touched by the
+//	    owning/holder type's methods, reconciliation points and
+//	    constructors, and must not alias out.
+//	//colibri:unbounded(reason)        — channel-make annotation (goroutines
+//	    check): this channel intentionally has no explicit capacity bound
+//	    (a rendezvous channel); the reason documents why backpressure by
+//	    blocking is the design.
 package main
 
 import (
@@ -18,6 +29,10 @@ import (
 )
 
 var allowRe = regexp.MustCompile(`//colibri:allow\(([a-z, -]+)\)`)
+
+// unboundedRe matches the goroutines check's channel annotation. The reason
+// is mandatory: an empty pair of parentheses does not suppress.
+var unboundedRe = regexp.MustCompile(`//colibri:unbounded\(([^)]+)\)`)
 
 // SuppressionIndex records, per file, the lines carrying allow-pragmas and
 // the files opting out of ordering.
@@ -44,8 +59,19 @@ func (s *SuppressionIndex) AddFile(fset *token.FileSet, f *ast.File) {
 			if strings.Contains(text, "//colibri:ordered") {
 				s.ordered[pos.Filename] = true
 			}
-			m := allowRe.FindStringSubmatch(text)
-			if m == nil {
+			var names []string
+			if m := allowRe.FindStringSubmatch(text); m != nil {
+				for _, name := range strings.Split(m[1], ",") {
+					names = append(names, strings.TrimSpace(name))
+				}
+			}
+			// //colibri:unbounded(reason) is the goroutines check's channel
+			// annotation: a reasoned opt-out of the explicit-capacity rule,
+			// indexed as an allow of that check on the make's line.
+			if unboundedRe.MatchString(text) {
+				names = append(names, checkGoroutines)
+			}
+			if len(names) == 0 {
 				continue
 			}
 			line := pos.Line
@@ -63,8 +89,8 @@ func (s *SuppressionIndex) AddFile(fset *token.FileSet, f *ast.File) {
 				cm = map[string]bool{}
 				fm[line] = cm
 			}
-			for _, name := range strings.Split(m[1], ",") {
-				cm[strings.TrimSpace(name)] = true
+			for _, name := range names {
+				cm[name] = true
 			}
 		}
 	}

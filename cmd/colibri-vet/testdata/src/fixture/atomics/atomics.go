@@ -1,0 +1,69 @@
+// Package atomics is the mixed-access fixture: legacy sync/atomic targets,
+// plain accesses of the same word, and second writers of single-writer
+// fields must be flagged; constructors, lock-guarded sections and typed
+// atomics with one writer must not.
+package atomics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// C mixes atomic and plain access on n.
+type C struct {
+	mu sync.Mutex
+	n  uint64
+	// owned is written only by Advance: the annotation holds — clean.
+	owned atomic.Uint64 //colibri:singlewriter
+	// shared is annotated single-writer but written by two functions: the
+	// second writer is a finding.
+	shared atomic.Int64 //colibri:singlewriter
+}
+
+// NewC initializes everything plainly before publication: clean.
+func NewC() *C {
+	c := &C{}
+	c.n = 1
+	c.owned.Store(0)
+	c.shared.Store(0)
+	return c
+}
+
+// Bump goes through the legacy package-level atomics: raw-target migration
+// finding.
+func (c *C) Bump() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// Read reads n plainly while Bump updates it atomically: mixed-access
+// finding.
+func (c *C) Read() uint64 {
+	return c.n
+}
+
+// Guarded reads n under the mutex: clean (lock-held allowance).
+func (c *C) Guarded() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// SuppressedPlain tolerates a stale read by contract: suppressed.
+func (c *C) SuppressedPlain() uint64 {
+	return c.n //colibri:allow(atomics) — fixture: stale read acceptable
+}
+
+// Advance is owned's one writer: clean.
+func (c *C) Advance() {
+	c.owned.Add(1)
+}
+
+// WriteA is shared's first writer (wins the annotation).
+func (c *C) WriteA() {
+	c.shared.Store(1)
+}
+
+// WriteB is a second writing function: single-writer finding.
+func (c *C) WriteB() {
+	c.shared.Store(2)
+}

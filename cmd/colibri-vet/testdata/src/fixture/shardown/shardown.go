@@ -1,0 +1,81 @@
+// Package shardown is the shard-ownership fixture: owned fields touched
+// outside the ownership domain, aliased out via returns or channel sends,
+// or captured by escaping closures must be flagged; the holder's dispatch
+// and reconciliation paths, the owned type's own methods and constructors
+// must not.
+package shardown
+
+// notAStruct carries the annotation on a non-struct type: finding.
+//
+//colibri:shardowned
+type notAStruct int
+
+// shard is one shard's private state.
+//
+//colibri:shardowned
+type shard struct {
+	counts []uint64
+	buf    []byte
+	n      int
+}
+
+// reset is the shard's own method: clean.
+func (s *shard) reset() {
+	s.n = 0
+	s.buf = s.buf[:0]
+}
+
+// Front is the holder: it dispatches over its shards.
+type Front struct {
+	shards []*shard
+}
+
+// NewFront touches owned fields pre-publication: clean.
+func NewFront(n int) *Front {
+	f := &Front{shards: make([]*shard, n)}
+	for i := range f.shards {
+		f.shards[i] = &shard{counts: make([]uint64, 4)}
+	}
+	return f
+}
+
+// Process is a holder method: clean containment.
+func (f *Front) Process(i int) {
+	sh := f.shards[i]
+	sh.n++
+	sh.counts[0]++
+	sh.reset()
+}
+
+// Counts is a reconciliation point: handing owned state out is allowed.
+func (f *Front) Counts(i int) []uint64 {
+	return f.shards[i].counts
+}
+
+// Leak returns an owned reference field outside reconciliation: finding.
+func (f *Front) Leak(i int) []byte {
+	return f.shards[i].buf
+}
+
+// Publish sends owned state on a channel: finding.
+func (f *Front) Publish(ch chan []uint64, i int) {
+	ch <- f.shards[i].counts
+}
+
+// Spawn captures owned state in a goroutine closure: finding.
+func (f *Front) Spawn(i int) {
+	sh := f.shards[i]
+	go func() {
+		sh.counts[0]++
+	}()
+}
+
+// Peek touches owned state from outside the ownership domain: finding.
+func Peek(sh *shard) int {
+	return sh.n
+}
+
+// Audit reads owned state for debugging by contract: suppressed.
+func Audit(sh *shard) int {
+	return sh.n //colibri:allow(shardown) — fixture: read-only debug audit
+}

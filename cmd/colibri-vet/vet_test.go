@@ -48,6 +48,11 @@ func TestFixtures(t *testing.T) {
 		{"nomalloc_router", "nomalloc", "./router/...", 1},
 		{"nomalloc_sharded", "nomalloc", "./sharded/...", 1},
 		{"locks_sharded", "locks", "./sharded/...", 1},
+		// Concurrency-invariant suite: each fixture seeds a mixed atomic
+		// access, an owned-field alias escape, and an unjoined goroutine.
+		{"atomics", "atomics", "./atomics/...", 1},
+		{"shardown", "shardown", "./shardown/...", 1},
+		{"goroutines", "goroutines", "./goroutines/...", 1},
 		// A package with none of the requested check's subjects is clean.
 		{"clean", "locks", "./cserv/...", 0},
 	}
@@ -104,6 +109,45 @@ func TestJSONReport(t *testing.T) {
 	}
 }
 
+// TestBaseline covers the CI burn-down flow: a committed -json report is the
+// accepted set, matching findings stop failing the gate, and a baseline that
+// covers everything exits 0 while anything new still fails.
+func TestBaseline(t *testing.T) {
+	fix := fixtureDir(t)
+
+	// First pass: capture the fixture's atomics findings as the baseline.
+	var report, stderr bytes.Buffer
+	if exit := run([]string{"-C", fix, "-json", "-checks", "atomics", "./atomics/..."}, &report, &stderr); exit != 1 {
+		t.Fatalf("seed run exit = %d, want 1\nstderr:\n%s", exit, stderr.String())
+	}
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, report.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second pass under the baseline: everything matches, the gate passes.
+	var stdout bytes.Buffer
+	stderr.Reset()
+	if exit := run([]string{"-C", fix, "-json", "-checks", "atomics", "-baseline", base, "./atomics/..."}, &stdout, &stderr); exit != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", exit, stdout.String(), stderr.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Count != 0 || rep.Baselined == 0 {
+		t.Errorf("count = %d, baselined = %d; want 0 findings and a non-zero baselined tally", rep.Count, rep.Baselined)
+	}
+
+	// A baseline that does NOT cover a finding leaves the gate failing:
+	// findings from a different check are new by definition.
+	stdout.Reset()
+	stderr.Reset()
+	if exit := run([]string{"-C", fix, "-checks", "shardown", "-baseline", base, "./shardown/..."}, &stdout, &stderr); exit != 1 {
+		t.Fatalf("uncovered run exit = %d, want 1\nstdout:\n%s", exit, stdout.String())
+	}
+}
+
 // TestSelfClean is the gate's fixed point: the analyzer must exit 0 on the
 // repository that ships it. (The nomalloc check is exercised separately by
 // the fixtures; running it here would rebuild half the module per test run.)
@@ -116,7 +160,7 @@ func TestSelfClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	exit := run([]string{"-C", root, "-checks", "determinism,locks,telemetry,errors", "./..."}, &stdout, &stderr)
+	exit := run([]string{"-C", root, "-checks", "determinism,locks,telemetry,errors,atomics,shardown,goroutines", "./..."}, &stdout, &stderr)
 	if exit != 0 {
 		t.Fatalf("colibri-vet is not clean on its own tree (exit %d):\n%s%s", exit, stdout.String(), stderr.String())
 	}

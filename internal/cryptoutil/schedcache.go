@@ -37,11 +37,12 @@ import (
 type SchedCache struct {
 	mask uint64 // set index mask (sets = (len(ents)/2), power of two)
 	ents []schedEntry
-	// hits/misses are written only by the owning worker but may be read by
-	// a sharded front end's Merge from another goroutine, so they are
-	// atomic (single-writer: a plain Add, no contention).
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// hits/misses are written only by the owning worker's Schedule but may
+	// be read by a sharded front end's Merge from another goroutine, so they
+	// are atomic (single-writer: a plain Add, no contention; enforced by
+	// colibri-vet).
+	hits   atomic.Uint64 //colibri:singlewriter
+	misses atomic.Uint64 //colibri:singlewriter
 }
 
 // promoteAfter is the number of hits after which an entry's σ is expanded

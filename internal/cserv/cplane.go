@@ -122,6 +122,11 @@ type cpBatchStats struct {
 	expired                int64
 }
 
+// cplaneShard is one shard's admission state, owned by the CPlane front end:
+// reached only under sh.mu from CPlane's methods, never aliased out
+// (colibri-vet enforces this).
+//
+//colibri:shardowned
 type cplaneShard struct {
 	mu  sync.Mutex
 	adm admission.Admitter

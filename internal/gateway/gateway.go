@@ -90,10 +90,11 @@ type Gateway struct {
 	byID  map[uint32]*Entry
 	mon   *monitor.FlowMonitor
 	// installSeq numbers installs; each Entry records its value as the
-	// σ-schedule cache epoch.
-	installSeq atomic.Uint32
-	// lastTs backs the uniqueness of timestamps across all flows.
-	lastTs atomic.Uint64
+	// σ-schedule cache epoch. Written only by Install.
+	installSeq atomic.Uint32 //colibri:singlewriter
+	// lastTs backs the uniqueness of timestamps across all flows. Written
+	// only by reserveTs (the build path's timestamp reservation).
+	lastTs atomic.Uint64 //colibri:singlewriter
 	// tel holds the optional per-packet-phase instruments; nil (the
 	// default) keeps Build free of timing calls.
 	tel atomic.Pointer[gwTelemetry]

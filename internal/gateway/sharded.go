@@ -29,7 +29,12 @@ import (
 	"colibri/internal/topology"
 )
 
-// shardG is one shard's gateway plus its scatter/gather scratch.
+// shardG is one shard's gateway plus its scatter/gather scratch. All of it
+// is owned by the Sharded front end: filled by the dispatching goroutine,
+// consumed by the shard's pool worker between Dispatch barriers, and never
+// aliased out (colibri-vet enforces this).
+//
+//colibri:shardowned
 type shardG struct {
 	g *Gateway
 	w *Worker
@@ -108,27 +113,32 @@ func (s *Sharded) Workers() int { return s.pool.Workers() }
 // ShardOf returns the shard owning a reservation.
 func (s *Sharded) ShardOf(resID uint32) int { return shardOfRes(resID, s.mask) }
 
-// shard returns the owning shard's gateway.
-func (s *Sharded) shard(resID uint32) *Gateway {
-	return s.shards[shardOfRes(resID, s.mask)].g
-}
-
-// Install registers an EER's state on its owning shard.
+// Install registers an EER's state on its owning shard. (Control-plane entry
+// points call through the owning shard's gateway in place rather than via a
+// helper returning it: shardG state must not alias out of the Sharded.)
 func (s *Sharded) Install(res packet.ResInfo, eer packet.EERInfo, path []packet.HopField, auths []cryptoutil.Key) error {
-	return s.shard(res.ResID).Install(res, eer, path, auths)
+	return s.shards[shardOfRes(res.ResID, s.mask)].g.Install(res, eer, path, auths)
 }
 
 // Remove drops an EER's state.
-func (s *Sharded) Remove(resID uint32) { s.shard(resID).Remove(resID) }
+func (s *Sharded) Remove(resID uint32) {
+	s.shards[shardOfRes(resID, s.mask)].g.Remove(resID)
+}
 
 // Demote marks a flow best-effort-only on its shard.
-func (s *Sharded) Demote(resID uint32) bool { return s.shard(resID).Demote(resID) }
+func (s *Sharded) Demote(resID uint32) bool {
+	return s.shards[shardOfRes(resID, s.mask)].g.Demote(resID)
+}
 
 // Promote clears a flow's demotion on its shard.
-func (s *Sharded) Promote(resID uint32) bool { return s.shard(resID).Promote(resID) }
+func (s *Sharded) Promote(resID uint32) bool {
+	return s.shards[shardOfRes(resID, s.mask)].g.Promote(resID)
+}
 
 // Demoted reports whether the flow is currently demoted.
-func (s *Sharded) Demoted(resID uint32) bool { return s.shard(resID).Demoted(resID) }
+func (s *Sharded) Demoted(resID uint32) bool {
+	return s.shards[shardOfRes(resID, s.mask)].g.Demoted(resID)
+}
 
 // Expire removes expired reservations on every shard and returns the total
 // dropped.

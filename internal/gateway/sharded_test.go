@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"colibri/internal/packet"
@@ -117,6 +118,73 @@ func maskTsAndHVFs(buf []byte) {
 	for i := range pkt.HVFs {
 		pkt.HVFs[i] = 0
 	}
+}
+
+// TestShardedGatewayMergeRace drives BuildBatch while Merge, CacheStats,
+// Len, and telemetry snapshots run concurrently from another goroutine —
+// under -race this proves the build path shares no unsynchronized state with
+// the reconciliation path (the static shardown/atomics invariants,
+// cross-checked dynamically), and every slot's outcome must still be
+// well-formed.
+func TestShardedGatewayMergeRace(t *testing.T) {
+	sh := NewSharded(srcAS, Options{SchedCacheEntries: 64}, 4, 4)
+	defer sh.Close()
+	reg := telemetry.NewRegistry("gw-race")
+	sh.EnableTelemetry(reg)
+	const nRes = 32
+	for i := 1; i <= nRes; i++ {
+		if err := sh.Install(testRes(uint32(i), 8000), packet.EERInfo{}, tPath, tAuths); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh.Merge()
+			sh.CacheStats()
+			sh.Len()
+			reg.Snapshot()
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(7))
+	const batches, batchSz = 40, 64
+	reqs := make([]BuildReq, batchSz)
+	outs := make([]BuildRes, batchSz)
+	for i := range reqs {
+		reqs[i].Out = make([]byte, 2048)
+	}
+	nowNs := baseNs
+	for b := 0; b < batches; b++ {
+		nowNs += int64(10+rng.Intn(50)) * 1e6
+		for i := range reqs {
+			reqs[i].ResID = uint32(1 + rng.Intn(nRes))
+			payload := make([]byte, 64+rng.Intn(256))
+			rng.Read(payload)
+			reqs[i].Payload = payload
+			reqs[i].Out = reqs[i].Out[:cap(reqs[i].Out)]
+		}
+		built := sh.BuildBatch(reqs, outs, nowNs)
+		if built < 0 || built > batchSz {
+			t.Fatalf("batch %d: built %d out of range", b, built)
+		}
+		for i := range outs {
+			if outs[i].Err == nil && outs[i].N == 0 {
+				t.Fatalf("batch %d slot %d: zero-length success", b, i)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestShardedGatewayTsMonotonePerRes: per reservation, timestamps must be

@@ -38,8 +38,9 @@ const microPerByte = 1e6
 type Reserve struct {
 	// tokens is the current fill in micro-bytes.
 	tokens atomic.Int64
-	// lastNs is the time of the last refill credit.
-	lastNs atomic.Int64
+	// lastNs is the time of the last refill credit. Written only by Claim
+	// (the claimant that wins the CAS advances it).
+	lastNs atomic.Int64 //colibri:singlewriter
 	// rateBits holds math.Float64bits of the refill rate in micro-bytes per
 	// nanosecond (== rateKbps/8, conveniently).
 	rateBits atomic.Uint64

@@ -114,7 +114,7 @@ func (s *Sim) RunParallel(until int64, workers int) int64 {
 	// dependence can leak into the simulation) and signal completion via
 	// the window barrier. Which worker runs which shard is scheduling-
 	// dependent, but only the occupancy counters can see that.
-	work := make(chan []*Shard)
+	work := make(chan []*Shard) //colibri:unbounded(rendezvous: the coordinator hands one chunk per ready worker and blocks until taken — buffering would let a window's chunks outlive its barrier)
 	var wg sync.WaitGroup
 	var panicMu sync.Mutex
 	var panicVal any

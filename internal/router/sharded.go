@@ -64,7 +64,12 @@ type ShardedConfig struct {
 	ReserveChunkBytes float64
 }
 
-// shardR is one shard's core-local state plus its scatter/gather scratch.
+// shardR is one shard's core-local state plus its scatter/gather scratch,
+// owned by the Sharded front end: handed between the dispatching goroutine
+// and one pool worker by the Dispatch barrier, never aliased out
+// (colibri-vet enforces this).
+//
+//colibri:shardowned
 type shardR struct {
 	r *Router
 	w *Worker

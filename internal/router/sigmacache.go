@@ -36,11 +36,12 @@ import (
 type sigmaCache struct {
 	mask uint64
 	ents []sigmaEntry
-	// hits/misses are written only by the owning worker but read by a
-	// sharded front end's Merge from another goroutine, so they are atomic
-	// (single-writer: a plain Add, no contention).
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// hits/misses are written only by the owning worker's block() but read
+	// by a sharded front end's Merge from another goroutine, so they are
+	// atomic (single-writer: a plain Add, no contention; enforced by
+	// colibri-vet).
+	hits   atomic.Uint64 //colibri:singlewriter
+	misses atomic.Uint64 //colibri:singlewriter
 }
 
 // promoteAfter mirrors cryptoutil.SchedCache: hits before an entry's σ is

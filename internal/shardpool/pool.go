@@ -14,7 +14,24 @@
 // run function makes the whole dispatch race-free.
 package shardpool
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
+
+// WorkerPanic is the value Dispatch re-raises when run(shard) panicked on a
+// pool worker: the original panic value wrapped with the originating shard
+// index, so a crash in a million-flow fan-out names the shard whose state
+// tripped it. Inline mode (workers == 1) panics on the caller's goroutine
+// with the original value and stack, exactly like a sequential run.
+type WorkerPanic struct {
+	Shard int // index of the shard whose run panicked
+	Val   any // the original panic value
+}
+
+func (wp WorkerPanic) Error() string {
+	return fmt.Sprintf("shardpool: panic on shard %d: %v", wp.Shard, wp.Val)
+}
 
 // Pool dispatches shard indices to a fixed set of workers. Dispatch is not
 // safe for concurrent use (one batch at a time, like a data-plane front end);
@@ -65,7 +82,7 @@ func (p *Pool) loop(work <-chan int) {
 					p.panicMu.Lock()
 					if !p.panicked {
 						p.panicked = true
-						p.panicVal = r
+						p.panicVal = WorkerPanic{Shard: sh, Val: r}
 					}
 					p.panicMu.Unlock()
 				}
@@ -81,7 +98,7 @@ func (p *Pool) loop(work <-chan int) {
 // goroutine; otherwise assignment of shards to workers is scheduling-
 // dependent (shard state must not care, per the ownership contract). If any
 // run panicked, the first captured panic is re-raised here after the
-// barrier.
+// barrier, wrapped as a WorkerPanic naming the originating shard.
 //
 //colibri:nomalloc
 func (p *Pool) Dispatch(n int) {

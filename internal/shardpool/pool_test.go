@@ -54,6 +54,65 @@ func TestDispatchZeroAndPartial(t *testing.T) {
 	}
 }
 
+// TestPanicCarriesShardIndex pins the diagnostic contract: a pooled worker's
+// panic surfaces on the dispatcher as a WorkerPanic naming the shard whose
+// run tripped it, with the original value preserved.
+func TestPanicCarriesShardIndex(t *testing.T) {
+	p := New(4, func(shard int) {
+		if shard == 5 {
+			panic("boom")
+		}
+	})
+	defer p.Close()
+	defer func() {
+		wp, ok := recover().(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want WorkerPanic", wp)
+		}
+		if wp.Shard != 5 || wp.Val != "boom" {
+			t.Fatalf("WorkerPanic = %+v, want Shard=5 Val=boom", wp)
+		}
+		if want := "shardpool: panic on shard 5: boom"; wp.Error() != want {
+			t.Fatalf("Error() = %q, want %q", wp.Error(), want)
+		}
+	}()
+	p.Dispatch(8)
+	t.Fatal("Dispatch returned without re-raising")
+}
+
+// TestPanicDuringFinalBarrier is the regression for a panic raised by the
+// LAST shard to finish a dispatch — the one whose wg.Done releases the
+// barrier. The panicking shard spins until every other shard has completed,
+// so the capture races directly with the dispatcher's wg.Wait wake-up; the
+// panic must still be observed (the mutex write happens before Done, which
+// happens before Wait returns) and must carry the shard index.
+func TestPanicDuringFinalBarrier(t *testing.T) {
+	const n = 8
+	var done atomic.Int32
+	p := New(4, func(shard int) {
+		if shard != n-1 {
+			done.Add(1)
+			return
+		}
+		for done.Load() != n-1 {
+			// Spin: shard n-1 must be the final Done of the barrier.
+		}
+		panic("last shard")
+	})
+	defer p.Close()
+	defer func() {
+		wp, ok := recover().(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want WorkerPanic", wp)
+		}
+		if wp.Shard != n-1 || wp.Val != "last shard" {
+			t.Fatalf("WorkerPanic = %+v, want Shard=%d Val=%q", wp, n-1, "last shard")
+		}
+	}()
+	p.Dispatch(n)
+	t.Fatal("Dispatch returned without re-raising")
+}
+
 func TestPanicReraisedOnDispatcher(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		p := New(workers, func(shard int) {
