@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [-workers N,...] [-flows N] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|storm|all]
+//	colibri-bench [-quick] [-duration 300ms] [-telemetry text|json] [-parallel N,...] [-workers N,...] [-flows N] [fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|storm|policies|all]
+//
+// policies runs the reservation-model head-to-head (bounded-tube vs
+// flyover vs hummingbird behind policy.Policy): setup/renewal latency, hop
+// operations and the DoC-flood outcome per model and engine shard count.
 //
 // storm drives the §4.2 renewal storm through the live CPlane-backed
 // request path: -flows EERs (default 10⁶) all renewing in one 4 s window
@@ -187,6 +191,20 @@ func main() {
 		}
 		fmt.Print(experiments.FormatStorm(r))
 	})
+	run("policies", func() {
+		cfg := experiments.PoliciesConfig{}
+		if *quick {
+			cfg = experiments.PoliciesConfig{
+				Flows: 256, Hops: 3, Waves: 3, AttackFlows: 64, Shards: []int{1, 4},
+			}
+		}
+		rows, err := experiments.RunPolicies(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policies: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatPolicies(rows))
+	})
 	run("scale", func() {
 		sizes := []int{100, 1000}
 		if *quick {
@@ -208,7 +226,7 @@ func main() {
 	})
 	if !ran {
 		fmt.Fprintf(os.Stderr,
-			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|storm|all)\n", what)
+			"unknown experiment %q (want fig3|fig4|fig5|fig6|table2|appendix-e|doc|ablations|chaos|scale|cplane|storm|policies|all)\n", what)
 		os.Exit(2)
 	}
 	if reg != nil {

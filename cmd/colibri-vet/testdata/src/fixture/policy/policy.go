@@ -1,0 +1,38 @@
+// Package policy is the acceptance-checklist fixture for the determinism
+// check over the reservation-model layer: an audit assembled in map-range
+// order and an expiry stamped off the wall clock — the two seeded bug
+// classes a policy implementation must not reintroduce.
+package policy
+
+import "time"
+
+// Audit is one per-AS conservation row.
+type Audit struct {
+	IA   uint64
+	Peak int64
+}
+
+// Snapshot returns the rows in map order: finding.
+func Snapshot(planes map[uint64]int64) []Audit {
+	var out []Audit
+	for ia, peak := range planes {
+		out = append(out, Audit{IA: ia, Peak: peak})
+	}
+	return out
+}
+
+// Expiry stamps a lifetime off the wall clock instead of the injected
+// clock seam: finding.
+func Expiry() uint32 {
+	return uint32(time.Now().Unix()) + 16
+}
+
+// Prune deletes lapsed flows keyed by the range key: order-insensitive,
+// no finding.
+func Prune(flows map[uint64]uint32, now uint32) {
+	for id, expT := range flows {
+		if expT <= now {
+			delete(flows, id)
+		}
+	}
+}

@@ -41,6 +41,7 @@ func TestFixtures(t *testing.T) {
 		{"determinism_parallel", "determinism", "./netsimpar/...", 1},
 		{"determinism_cserv", "determinism", "./cserv/...", 1},
 		{"determinism_restree", "determinism", "./restree/...", 1},
+		{"determinism_policy", "determinism", "./policy/...", 1},
 		{"nomalloc_restree", "nomalloc", "./restree/...", 1},
 		{"locks", "locks", "./locks/...", 1},
 		{"telemetry", "telemetry", "./tel/...", 1},

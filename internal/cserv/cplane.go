@@ -342,10 +342,26 @@ func (c *CPlane) TeardownSegR(id reservation.ID) error {
 // Admission is full-or-nothing: the demand must fit under the SegR's grant
 // at every epoch of [now, expT), checked in O(log epochs) on the ledger.
 func (c *CPlane) SetupEER(eer, seg reservation.ID, bwKbps uint64, expT uint32) error {
+	return c.SetupEERAt(eer, seg, bwKbps, 0, expT)
+}
+
+// SetupEERAt is SetupEER with an explicit charge window [startT, expT) — the
+// windowed variant used by time-sliced (Hummingbird-style) reservation
+// policies whose grants are decoupled from the setup instant. startT == 0
+// anchors at now; a startT in the past is clamped to now (the elapsed part of
+// the window cannot be used, so charging it would only inflate demand). The
+// window may start in the future: demand is charged only over [startT, expT),
+// so back-to-back slices concatenate seamlessly without double-charging the
+// handover epoch, and a slice bought ahead of time holds its bandwidth
+// against competing setups from the moment it is admitted.
+func (c *CPlane) SetupEERAt(eer, seg reservation.ID, bwKbps uint64, startT, expT uint32) error {
 	sh := c.shardFor(seg)
 	now := c.clock()
+	if startT < now {
+		startT = now
+	}
 	sh.mu.Lock()
-	err := sh.setupEERLocked(eer, seg, bwKbps, now, expT, 0)
+	err := sh.setupEERLocked(eer, seg, bwKbps, now, startT, expT, 0)
 	sh.mu.Unlock()
 	if err != nil {
 		// A duplicate setup is an idempotent retry hitting committed state,
@@ -364,7 +380,7 @@ func (c *CPlane) SetupEER(eer, seg reservation.ID, bwKbps uint64, expT uint32) e
 }
 
 //colibri:nomalloc
-func (sh *cplaneShard) setupEERLocked(eer, seg reservation.ID, bwKbps uint64, now, expT uint32, ver uint16) error {
+func (sh *cplaneShard) setupEERLocked(eer, seg reservation.ID, bwKbps uint64, now, startT, expT uint32, ver uint16) error {
 	led, ok := sh.ledgers[seg]
 	if !ok {
 		return ErrUnknownSegR
@@ -373,8 +389,11 @@ func (sh *cplaneShard) setupEERLocked(eer, seg reservation.ID, bwKbps uint64, no
 	if _, dup := sh.eers[eer]; dup {
 		return restree.ErrExists
 	}
+	if startT == 0 {
+		startT = now
+	}
 	free := sh.segBw[seg]
-	if m := led.MaxDemand(now, expT); uint64(m) >= free {
+	if m := led.MaxDemand(startT, expT); uint64(m) >= free {
 		free = 0
 	} else {
 		free -= uint64(m)
@@ -382,7 +401,7 @@ func (sh *cplaneShard) setupEERLocked(eer, seg reservation.ID, bwKbps uint64, no
 	if bwKbps > free {
 		return ErrInsufficient
 	}
-	if err := led.Reserve(eer, now, expT, int64(bwKbps)); err != nil {
+	if err := led.Reserve(eer, startT, expT, int64(bwKbps)); err != nil {
 		return err
 	}
 	sh.eers[eer] = cpEER{seg: seg, bw: bwKbps, expT: expT, ver: ver}
@@ -632,6 +651,66 @@ func (c *CPlane) Tick() int {
 		}
 	}
 	c.eerCount.Add(-int64(total))
+	return total
+}
+
+// SegRAudit is one SegR's conservation snapshot: the bandwidth granted to
+// the SegR at this AS and the peak EER demand its ledger carries over the
+// audited window. PeakKbps > GrantKbps at any time is an over-admission —
+// the invariant the transfer-split leak of the 10⁶-EER storm violated.
+type SegRAudit struct {
+	Seg reservation.ID
+	// GrantKbps is the SegR's current grant (the EER admission ceiling).
+	GrantKbps uint64
+	// PeakKbps is the maximum aggregate EER demand charged on the SegR's
+	// ledger over any epoch intersecting the audited window.
+	PeakKbps uint64
+	// LiveEERs is the number of live ledger entries after lazy expiry.
+	LiveEERs int
+}
+
+// AuditLedgers snapshots every SegR's grant and peak admitted EER demand
+// over [fromT, toT), in ID order. Each shard is advanced to now first, so
+// lapsed charges do not count against the window. The result is
+// deterministic for a given engine state; conservation tests assert
+// PeakKbps <= GrantKbps on every row.
+func (c *CPlane) AuditLedgers(fromT, toT uint32) []SegRAudit {
+	now := c.clock()
+	var rows []SegRAudit
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var segs []reservation.ID
+		for id := range sh.ledgers {
+			segs = append(segs, id)
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Less(segs[j]) })
+		for _, id := range segs {
+			led := sh.ledgers[id]
+			led.Advance(now)
+			rows = append(rows, SegRAudit{
+				Seg:       id,
+				GrantKbps: sh.segBw[id],
+				PeakKbps:  uint64(led.MaxDemand(fromT, toT)),
+				LiveEERs:  led.Len(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Seg.Less(rows[j].Seg) })
+	return rows
+}
+
+// AllocatedKbps sums the shards' granted SegR bandwidth at an egress
+// interface. Because shardedAS splits every physical capacity exactly across
+// shards, the sum never exceeds the egress's reservable share — the
+// aggregate half of the conservation invariant.
+func (c *CPlane) AllocatedKbps(eg topology.IfID) uint64 {
+	var total uint64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		total += sh.adm.AllocatedKbps(eg)
+		sh.mu.Unlock()
+	}
 	return total
 }
 

@@ -190,7 +190,7 @@ func (c *CPlane) SetupEERPath(eer reservation.ID, segs []reservation.ID, bwKbps 
 		sh := c.shardFor(segs[0])
 		now := c.clock()
 		sh.mu.Lock()
-		err := sh.setupEERLocked(eer, segs[0], bwKbps, now, expT, ver)
+		err := sh.setupEERLocked(eer, segs[0], bwKbps, now, now, expT, ver)
 		sh.mu.Unlock()
 		if err != nil {
 			if err == restree.ErrExists {

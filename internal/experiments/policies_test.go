@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"colibri/internal/policy"
+)
+
+// quickPolicies is the CI-sized head-to-head grid.
+func quickPolicies() PoliciesConfig {
+	return PoliciesConfig{Flows: 256, Hops: 3, Waves: 3, AttackFlows: 64, Shards: []int{1, 4}}
+}
+
+// TestPoliciesOutcomes pins the head-to-head's qualitative results: under
+// the boundary flood, bounded-tube and hummingbird keep every legitimate
+// flow and admit no attacker, while flyover bleeds flows to the adversary.
+func TestPoliciesOutcomes(t *testing.T) {
+	restore := SetClock(StepClock(0, 1_000))
+	defer restore()
+	rows, err := RunPolicies(quickPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 policies × 2 shard counts)", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Policy {
+		case policy.NameBoundedTube, policy.NameHummingbird:
+			if r.SurvivorPct != 100 {
+				t.Errorf("%s/%d: survivors = %.1f%%, want 100%% (protected renewals)",
+					r.Policy, r.Shards, r.SurvivorPct)
+			}
+			if r.AttackAdmitted != 0 {
+				t.Errorf("%s/%d: %d attacker setups admitted, want 0",
+					r.Policy, r.Shards, r.AttackAdmitted)
+			}
+		case policy.NameFlyover:
+			if r.SurvivorPct >= 100 {
+				t.Errorf("flyover/%d: survivors = %.1f%%, want < 100%% (boundary race lost)",
+					r.Shards, r.SurvivorPct)
+			}
+			if r.AttackAdmitted == 0 {
+				t.Errorf("flyover/%d: no attacker admitted — the flood should land", r.Shards)
+			}
+		}
+		if r.HopOps == 0 || r.UtilizationPct <= 0 || r.UtilizationPct > 100 {
+			t.Errorf("%s/%d: implausible cell %+v", r.Policy, r.Shards, r)
+		}
+	}
+}
+
+// TestPoliciesDeterministic: under a stepped virtual clock two full runs
+// render byte-identical tables — the colibri-bench reproducibility bar.
+func TestPoliciesDeterministic(t *testing.T) {
+	cfg := quickPolicies()
+	render := func() string {
+		restore := SetClock(StepClock(0, 1_000))
+		defer restore()
+		rows, err := RunPolicies(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatPolicies(rows)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("head-to-head not byte-identical under StepClock:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	for _, want := range []string{"bounded-tube", "flyover", "hummingbird"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("table missing %q:\n%s", want, a)
+		}
+	}
+}
